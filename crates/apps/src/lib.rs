@@ -1,0 +1,40 @@
+//! # vt-apps — workloads for the virtual-topology study
+//!
+//! The paper evaluates its virtual topologies with microbenchmarks and two
+//! applications; this crate implements all of them on the `vt-armci`
+//! runtime model:
+//!
+//! * [`contention`] — the hot-spot microbenchmark of Figs. 6 and 7:
+//!   per-rank latency of vectored transfers and fetch-&-add against rank 0
+//!   under 0 % / 11 % / 20 % contention, using the paper's exact
+//!   measurement protocol.
+//! * [`lu`] — a NAS LU proxy (Fig. 8): neighbour-only SSOR wavefront
+//!   exchanges, no hot spot, topology-insensitive.
+//! * [`nwchem_dft`] — an NWChem DFT SiOSi3 proxy (Fig. 9a): dynamic load
+//!   balancing over a shared `nxtval` fetch-&-add counter — the hot-spot
+//!   application where MFCG shines.
+//! * [`nwchem_ccsd`] — an NWChem CCSD(T) water proxy (Fig. 9b):
+//!   accumulate-heavy, spread traffic, memory-bound; FCG's `O(N)` buffer
+//!   pools overflow node memory at scale.
+//! * [`report`] — gnuplot-ready series/panel/table rendering.
+//! * [`sweep`] — a crossbeam-based parallel runner for independent
+//!   simulations (each simulation itself stays single-threaded and
+//!   deterministic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod contention;
+pub mod gups;
+pub mod lu;
+pub mod nwchem_ccsd;
+pub mod nwchem_dft;
+pub mod report;
+pub mod sweep;
+
+pub use contention::{ContentionConfig, ContentionOutcome, OpSpec, Scenario};
+pub use gups::{GupsConfig, GupsOutcome};
+pub use lu::{LuConfig, LuOutcome};
+pub use nwchem_ccsd::{CcsdConfig, CcsdOutcome};
+pub use nwchem_dft::{DftConfig, DftOutcome};
+pub use report::{Panel, Series, Table};
+pub use sweep::run_parallel;

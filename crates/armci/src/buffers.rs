@@ -1,0 +1,224 @@
+//! Request-buffer credits.
+//!
+//! A node `j` with an incoming virtual-topology edge from `i` pre-allocates
+//! `M` request buffers for **each sender on `i`** — every application
+//! process and the forwarding CHT. The sender-side view of those buffers is
+//! a *credit*: a sender may have at most `M` requests in flight across an
+//! edge and must wait for a buffer-release acknowledgement before reusing a
+//! slot. Requests really block on credits in the simulation, so a cyclic
+//! forwarding order would genuinely deadlock — the engine detects that
+//! instead of hanging, turning the paper's LDF deadlock-freedom claim into a
+//! tested property.
+
+use crate::ids::{NodeId, Sender};
+use std::collections::HashMap;
+
+/// A sender's credit account on one directed virtual-topology edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CreditKey {
+    /// Who sends.
+    pub sender: Sender,
+    /// The edge, as (source node, destination node).
+    pub edge: (NodeId, NodeId),
+}
+
+/// Tracks in-flight request counts per `(sender, edge)` with a FIFO queue
+/// of waiters per account: blocked processes (at most one each, since a
+/// process issues one request at a time) and *parked* forwards — requests a
+/// CHT set aside because the downstream account was exhausted. Parking
+/// instead of head-of-line blocking is essential: a serial server that
+/// blocks on one credit while the credit-releasing request sits behind it
+/// in its own queue deadlocks even under a cycle-free forwarding order.
+#[derive(Debug)]
+pub struct CreditManager {
+    cap: u32,
+    in_flight: HashMap<CreditKey, u32>,
+    waiters: HashMap<CreditKey, std::collections::VecDeque<Waiter>>,
+}
+
+/// Who is waiting for a credit to free up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Waiter {
+    /// A process blocked trying to issue a request.
+    Proc(crate::ids::Rank),
+    /// A forward parked at a CHT, identified by the node and the request.
+    Fwd {
+        /// The forwarding node.
+        node: NodeId,
+        /// The parked request.
+        req: crate::ids::ReqId,
+    },
+}
+
+impl CreditManager {
+    /// A manager giving every sender `cap` credits per edge (`M`).
+    pub fn new(cap: u32) -> Self {
+        assert!(cap >= 1, "need at least one credit per sender");
+        CreditManager {
+            cap,
+            in_flight: HashMap::new(),
+            waiters: HashMap::new(),
+        }
+    }
+
+    /// The per-sender credit cap (`M`).
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Attempts to take one credit; returns `false` when the account is
+    /// exhausted.
+    pub fn try_acquire(&mut self, key: CreditKey) -> bool {
+        let used = self.in_flight.entry(key).or_insert(0);
+        if *used < self.cap {
+            *used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers `waiter` at the back of `key`'s wait queue.
+    pub fn wait(&mut self, key: CreditKey, waiter: Waiter) {
+        self.waiters.entry(key).or_default().push_back(waiter);
+    }
+
+    /// Returns one credit to the account. If waiters are queued on it, the
+    /// credit is transferred to the oldest one immediately and that waiter
+    /// is returned so the engine can resume it.
+    ///
+    /// # Panics
+    /// Panics if the account has no credit in flight (double release).
+    pub fn release(&mut self, key: CreditKey) -> Option<Waiter> {
+        let used = self
+            .in_flight
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("release without acquire on {key:?}"));
+        assert!(*used > 0, "double release on {key:?}");
+        if let Some(queue) = self.waiters.get_mut(&key) {
+            if let Some(waiter) = queue.pop_front() {
+                if queue.is_empty() {
+                    self.waiters.remove(&key);
+                }
+                // Hand the credit straight to the waiter: `used` stays put.
+                return Some(waiter);
+            }
+            self.waiters.remove(&key);
+        }
+        *used -= 1;
+        None
+    }
+
+    /// Number of credits currently in flight for `key`.
+    pub fn in_flight(&self, key: CreditKey) -> u32 {
+        self.in_flight.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total credits in flight across all accounts.
+    pub fn total_in_flight(&self) -> u64 {
+        self.in_flight.values().map(|&v| u64::from(v)).sum()
+    }
+
+    /// All currently blocked waiters (for deadlock diagnostics).
+    pub fn blocked(&self) -> impl Iterator<Item = (&CreditKey, &Waiter)> {
+        self.waiters
+            .iter()
+            .flat_map(|(k, q)| q.iter().map(move |w| (k, w)))
+    }
+
+    /// Number of blocked waiters.
+    pub fn blocked_count(&self) -> usize {
+        self.waiters.values().map(std::collections::VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Rank;
+
+    fn key(sender: Sender) -> CreditKey {
+        CreditKey {
+            sender,
+            edge: (0, 1),
+        }
+    }
+
+    #[test]
+    fn acquire_until_cap() {
+        let mut cm = CreditManager::new(4);
+        let k = key(Sender::Proc(Rank(0)));
+        for _ in 0..4 {
+            assert!(cm.try_acquire(k));
+        }
+        assert!(!cm.try_acquire(k));
+        assert_eq!(cm.in_flight(k), 4);
+    }
+
+    #[test]
+    fn accounts_are_independent() {
+        let mut cm = CreditManager::new(1);
+        let a = key(Sender::Proc(Rank(0)));
+        let b = key(Sender::Proc(Rank(1)));
+        let c = CreditKey {
+            sender: Sender::Proc(Rank(0)),
+            edge: (0, 2),
+        };
+        assert!(cm.try_acquire(a));
+        assert!(cm.try_acquire(b));
+        assert!(cm.try_acquire(c));
+        assert!(!cm.try_acquire(a));
+        assert_eq!(cm.total_in_flight(), 3);
+    }
+
+    #[test]
+    fn release_without_waiter_frees_credit() {
+        let mut cm = CreditManager::new(1);
+        let k = key(Sender::Cht(0));
+        assert!(cm.try_acquire(k));
+        assert_eq!(cm.release(k), None);
+        assert!(cm.try_acquire(k));
+    }
+
+    #[test]
+    fn release_transfers_credit_to_waiter() {
+        let mut cm = CreditManager::new(1);
+        let k = key(Sender::Proc(Rank(3)));
+        assert!(cm.try_acquire(k));
+        cm.wait(k, Waiter::Proc(Rank(3)));
+        assert_eq!(cm.blocked_count(), 1);
+        let granted = cm.release(k);
+        assert_eq!(granted, Some(Waiter::Proc(Rank(3))));
+        // The credit moved to the waiter: account still full.
+        assert_eq!(cm.in_flight(k), 1);
+        assert!(!cm.try_acquire(k));
+        assert_eq!(cm.blocked_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut cm = CreditManager::new(2);
+        let k = key(Sender::Cht(5));
+        cm.try_acquire(k);
+        cm.release(k);
+        cm.release(k);
+    }
+
+    #[test]
+    fn waiters_are_served_fifo() {
+        let mut cm = CreditManager::new(1);
+        let k = key(Sender::Cht(2));
+        assert!(cm.try_acquire(k));
+        cm.wait(k, Waiter::Fwd { node: 2, req: 10 });
+        cm.wait(k, Waiter::Fwd { node: 2, req: 11 });
+        assert_eq!(cm.blocked_count(), 2);
+        assert_eq!(cm.release(k), Some(Waiter::Fwd { node: 2, req: 10 }));
+        assert_eq!(cm.release(k), Some(Waiter::Fwd { node: 2, req: 11 }));
+        assert_eq!(cm.blocked_count(), 0);
+        // Both grants transferred the single credit; it is still in flight.
+        assert!(!cm.try_acquire(k));
+        assert_eq!(cm.release(k), None);
+        assert!(cm.try_acquire(k));
+    }
+}

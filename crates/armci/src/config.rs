@@ -1,0 +1,225 @@
+//! Runtime configuration.
+
+use crate::ops::{Op, OpKind};
+use serde::{Deserialize, Serialize};
+use vt_core::TopologyKind;
+use vt_simnet::{NetworkConfig, SimTime};
+
+/// Timing model of the communication helper thread.
+///
+/// The CHT is a serial server: it handles one request at a time. A CHT that
+/// has been idle longer than `poll_window` has dropped out of its polling
+/// loop and pays `wakeup_latency` before the next request — the mechanism
+/// behind the paper's observation that *busy forwarders respond faster*
+/// (§V-B2: processes actively forwarding "stay in the polling mode ... and
+/// therefore have better response time").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChtConfig {
+    /// Fixed cost to dispatch any request.
+    pub base: SimTime,
+    /// Per-byte cost of staging payload through shared memory (ns/byte).
+    pub per_byte_ns: f64,
+    /// Extra per-segment cost of scatter/gather for vectored operations.
+    pub per_segment: SimTime,
+    /// Extra cost of an atomic read-modify-write.
+    pub atomic_extra: SimTime,
+    /// Extra cost of a lock/unlock request.
+    pub lock_extra: SimTime,
+    /// Fixed cost to forward a request to the next server.
+    pub forward_base: SimTime,
+    /// Per-byte cost of pass-through forwarding (ns/byte; cheaper than
+    /// terminal processing — no scatter).
+    pub forward_per_byte_ns: f64,
+    /// Latency to wake an idle CHT (scheduling / interrupt path).
+    pub wakeup_latency: SimTime,
+    /// How long after its last service a CHT keeps polling.
+    pub poll_window: SimTime,
+    /// Cache/TLB pressure of a large resident buffer pool: extra nanoseconds
+    /// per request for every MiB of CHT pool on the node. This is the small
+    /// but real cost that makes virtual topologies slightly *faster* than
+    /// FCG even without hot spots (paper Fig. 8 at low process counts).
+    pub cache_ns_per_pool_mib: f64,
+    /// CPU interference of the CHT on co-located application processes: the
+    /// fraction of one core's worth of compute stolen from the node while
+    /// the CHT is busy (the XT5 CHT shares cores with application ranks).
+    /// Each process's compute blocks are stretched by
+    /// `interference × cht_busy / ppn`. Forwarding-heavy topologies pay this
+    /// across the machine.
+    pub cht_interference: f64,
+}
+
+impl Default for ChtConfig {
+    fn default() -> Self {
+        ChtConfig {
+            base: SimTime::from_nanos(600),
+            per_byte_ns: 0.4,
+            per_segment: SimTime::from_nanos(150),
+            atomic_extra: SimTime::from_nanos(300),
+            lock_extra: SimTime::from_nanos(200),
+            forward_base: SimTime::from_nanos(400),
+            forward_per_byte_ns: 0.1,
+            wakeup_latency: SimTime::from_micros(8),
+            poll_window: SimTime::from_micros(60),
+            cache_ns_per_pool_mib: 8.0,
+            cht_interference: 1.0,
+        }
+    }
+}
+
+impl ChtConfig {
+    /// Service time for terminally processing `op` at the target CHT.
+    pub fn service_time(&self, op: &Op) -> SimTime {
+        let mut t = self.base + per_byte(op.bytes, self.per_byte_ns);
+        match op.kind {
+            OpKind::PutV | OpKind::GetV => {
+                t += self.per_segment * u64::from(op.segments);
+            }
+            OpKind::Acc => {
+                // Combine costs a second pass over the payload.
+                t += per_byte(op.bytes, self.per_byte_ns) + self.per_segment;
+            }
+            OpKind::FetchAdd => t += self.atomic_extra,
+            OpKind::Lock | OpKind::Unlock => t += self.lock_extra,
+            OpKind::Put | OpKind::Get => {}
+        }
+        t
+    }
+
+    /// Service time for forwarding `op`'s request one hop.
+    pub fn forward_time(&self, op: &Op) -> SimTime {
+        self.forward_base + per_byte(op.request_bytes(), self.forward_per_byte_ns)
+    }
+}
+
+fn per_byte(bytes: u64, ns_per_byte: f64) -> SimTime {
+    SimTime::from_nanos((bytes as f64 * ns_per_byte).round() as u64)
+}
+
+/// Full configuration of a simulated ARMCI job.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Total number of processes (ranks).
+    pub n_procs: u32,
+    /// Processes per node.
+    pub procs_per_node: u32,
+    /// The virtual topology governing buffer allocation and forwarding.
+    pub topology: TopologyKind,
+    /// Machine/interconnect model.
+    pub net: NetworkConfig,
+    /// CHT timing model.
+    pub cht: ChtConfig,
+    /// Size of one request buffer (`B`). Paper: 16 KiB.
+    pub buffer_bytes: u64,
+    /// Request buffers per remote sender (`M`). Paper: 4.
+    pub buffers_per_proc: u32,
+    /// Process-side software cost to issue any operation.
+    pub issue_overhead: SimTime,
+    /// Per-byte cost of an intra-node shared-memory copy (ns/byte).
+    pub shm_per_byte_ns: f64,
+    /// Cost per barrier stage (a dissemination barrier runs ⌈log₂ P⌉
+    /// stages).
+    pub barrier_stage: SimTime,
+    /// Record every operation's latency (needed by the figure harnesses;
+    /// disable for big application runs).
+    pub record_ops: bool,
+    /// Root seed for all stochastic choices.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A configuration for `n_procs` ranks over `topology` with paper-like
+    /// defaults (4 processes per node, 16-KiB buffers, M = 4).
+    pub fn new(n_procs: u32, topology: TopologyKind) -> Self {
+        RuntimeConfig {
+            n_procs,
+            procs_per_node: 4,
+            topology,
+            // The full Jaguar torus geometry: jobs occupy a (linear) slice of
+            // the machine, so physical hop distance grows with rank distance
+            // as in the paper's no-contention curves.
+            net: NetworkConfig::jaguar(),
+            cht: ChtConfig::default(),
+            buffer_bytes: 16 * 1024,
+            buffers_per_proc: 4,
+            issue_overhead: SimTime::from_nanos(500),
+            shm_per_byte_ns: 0.25,
+            barrier_stage: SimTime::from_micros(2),
+            record_ops: false,
+            seed: 0xA2C1,
+        }
+    }
+
+    /// Number of nodes implied by the process count and ppn.
+    pub fn num_nodes(&self) -> u32 {
+        self.n_procs.div_ceil(self.procs_per_node)
+    }
+
+    /// Checks internal consistency; call before building a simulation.
+    ///
+    /// # Panics
+    /// Panics on zero counts or a topology that cannot cover the node count.
+    pub fn validate(&self) {
+        assert!(self.n_procs >= 1, "need at least one process");
+        assert!(self.procs_per_node >= 1, "need at least one process per node");
+        assert!(self.buffers_per_proc >= 1, "need at least one buffer credit");
+        assert!(
+            self.topology.supports(self.num_nodes()),
+            "{} does not support {} nodes",
+            self.topology.name(),
+            self.num_nodes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Rank;
+
+    #[test]
+    fn service_time_scales_with_payload() {
+        let c = ChtConfig::default();
+        let small = c.service_time(&Op::put_v(Rank(0), 1, 64));
+        let large = c.service_time(&Op::put_v(Rank(0), 1, 16 * 1024));
+        assert!(large > small * 2);
+    }
+
+    #[test]
+    fn vectored_pays_per_segment() {
+        let c = ChtConfig::default();
+        let one = c.service_time(&Op::put_v(Rank(0), 1, 1024));
+        let eight = c.service_time(&Op::put_v(Rank(0), 8, 128));
+        assert!(eight > one, "same bytes, more segments must cost more");
+    }
+
+    #[test]
+    fn forwarding_is_cheaper_than_terminal_service() {
+        let c = ChtConfig::default();
+        let op = Op::put_v(Rank(0), 8, 2048);
+        assert!(c.forward_time(&op) < c.service_time(&op));
+    }
+
+    #[test]
+    fn acc_costs_more_than_putv_of_same_size() {
+        let c = ChtConfig::default();
+        assert!(c.service_time(&Op::acc(Rank(0), 4096)) > c.service_time(&Op::put_v(Rank(0), 1, 4096)));
+    }
+
+    #[test]
+    fn config_validates_topology_support() {
+        let mut cfg = RuntimeConfig::new(100, TopologyKind::Mfcg);
+        cfg.validate();
+        assert_eq!(cfg.num_nodes(), 25);
+        cfg.topology = TopologyKind::Hypercube; // 25 nodes: unsupported
+        let res = std::panic::catch_unwind(|| cfg.validate());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn fetch_add_service_includes_atomic_cost() {
+        let c = ChtConfig::default();
+        let fadd = c.service_time(&Op::fetch_add(Rank(0), 1));
+        assert!(fadd >= c.base + c.atomic_extra);
+        assert!(fadd < SimTime::from_micros(2));
+    }
+}

@@ -1,0 +1,1170 @@
+//! The event-driven runtime engine.
+//!
+//! Ties everything together: processes run [`Program`]s; CHT-path requests
+//! acquire buffer credits, travel the virtual topology hop by hop (LDF),
+//! queue at serial CHT servers and are forwarded or terminally serviced;
+//! every hop's buffer is returned to its sender by an explicit
+//! acknowledgement once the downstream server has dealt with the request
+//! (paper §IV: "if an intermediate server (or the target) detects that the
+//! request is forwarded from an upstream server, it sends an acknowledgment
+//! to the upstream server"); the target's response goes *directly* back to
+//! the origin process.
+//!
+//! Because requests genuinely block on credits, a cyclic forwarding order
+//! deadlocks. The engine detects quiescence-with-blocked-work and returns
+//! [`SimError::Deadlock`] with diagnostics instead of hanging.
+
+use crate::buffers::{CreditKey, CreditManager, Waiter};
+use crate::cht::{Cht, ChtCounters};
+use crate::config::RuntimeConfig;
+use crate::ids::{NodeId, Rank, ReqId, Sender};
+use crate::layout::Layout;
+use crate::metrics::Metrics;
+use crate::ops::{Op, OpKind};
+use crate::workload::{Action, ProcCtx, Program};
+use vt_core::{Grid, VirtualTopology};
+use vt_simnet::{EventQueue, Network, SimTime};
+
+/// Engine events.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A process is ready to take its next action.
+    ProcReady(Rank),
+    /// A request message finished arriving at a node.
+    RequestArrive { req: ReqId, node: NodeId },
+    /// A CHT should try to start servicing its head-of-line request.
+    ChtTryStart { node: NodeId },
+    /// A CHT finished servicing or forwarding a request.
+    ChtDone { node: NodeId, req: ReqId },
+    /// A buffer-release acknowledgement arrived at the credit holder's node.
+    AckArrive { key: CreditKey },
+    /// The target's response arrived at the origin process.
+    ResponseArrive { req: ReqId },
+    /// A notifying operation landed in `target`'s address space.
+    NotifyArrive { target: Rank },
+    /// All ranks entered the barrier; release them.
+    BarrierRelease,
+}
+
+/// An in-flight one-sided request.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    op: Op,
+    origin: Rank,
+    origin_node: NodeId,
+    target_node: NodeId,
+    issued: SimTime,
+    /// Sender of the hop currently in flight or in service (whose credit the
+    /// next ChtDone releases).
+    prev_sender: Sender,
+    prev_node: NodeId,
+    /// Whether the issuing process blocks until the response.
+    blocking: bool,
+    /// Fetch-&-add result carried by the response.
+    resp_value: Option<i64>,
+    /// Set when a parked forward was granted its downstream credit (so the
+    /// service start must not acquire again).
+    credit_held: bool,
+    /// Slab liveness flag.
+    live: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Executing (an event will call back into the program).
+    Running,
+    /// Blocking operation in flight.
+    WaitingResponse,
+    /// Blocked acquiring a credit to issue.
+    WaitingCredit,
+    /// Waiting for all outstanding async ops.
+    Fencing,
+    /// Waiting for the notification counter to reach a threshold.
+    WaitingNotify,
+    /// Waiting in the global barrier.
+    InBarrier,
+    /// Program finished.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ProcState {
+    node: NodeId,
+    phase: Phase,
+    outstanding: u32,
+    last_fetch: Option<i64>,
+    /// A request created but not yet sent because its credit was exhausted.
+    pending: Option<PendingIssue>,
+    completed_ops: u64,
+    /// Cumulative notifications received.
+    notified: u64,
+    /// Threshold a WaitNotify is blocked on.
+    notify_threshold: u64,
+    /// CHT busy time on this node already charged to this process's compute
+    /// (interference bookkeeping).
+    cht_busy_seen: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingIssue {
+    req: ReqId,
+    first_hop: NodeId,
+}
+
+/// State of one simulated ARMCI mutex (owned by a target rank).
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<Rank>,
+    waiting: std::collections::VecDeque<ReqId>,
+}
+
+/// Why a simulation failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained while work was still blocked — a genuine
+    /// buffer-dependency deadlock (impossible under LDF; reachable with
+    /// custom routers or in adversarial tests).
+    Deadlock {
+        /// Simulated time of quiescence.
+        at: SimTime,
+        /// Human-readable description of each blocked entity.
+        blocked: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at {at}: {} blocked [", blocked.len())?;
+                for (i, b) in blocked.iter().take(8).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a completed run.
+#[derive(Debug)]
+pub struct Report {
+    /// Time the last rank finished its program.
+    pub finish_time: SimTime,
+    /// Per-rank and per-op measurements.
+    pub metrics: Metrics,
+    /// Network traffic counters.
+    pub net: vt_simnet::net::NetCounters,
+    /// CHT activity aggregated over all nodes.
+    pub cht_totals: ChtCounters,
+    /// Memory report for node 0's master (the paper's Fig. 5 quantity).
+    pub memory_node0: crate::memory::NodeMemory,
+    /// Total events processed.
+    pub events: u64,
+    /// The eight busiest physical links `(slot, direction, bytes)` —
+    /// tree saturation around hot nodes made visible.
+    pub top_links: Vec<(u32, u8, u64)>,
+}
+
+/// The runtime engine. Use [`crate::Simulation`] for the friendly façade.
+pub struct Engine {
+    cfg: RuntimeConfig,
+    topo: Grid,
+    layout: Layout,
+    net: Network,
+    queue: EventQueue<Event>,
+    programs: Vec<Box<dyn Program>>,
+    procs: Vec<ProcState>,
+    chts: Vec<Cht>,
+    credits: CreditManager,
+    requests: Vec<Request>,
+    free_reqs: Vec<ReqId>,
+    /// Ranks currently waiting in the barrier.
+    barrier_waiting: Vec<Rank>,
+    barrier_scheduled: bool,
+    done_count: u32,
+    fetch_counters: Vec<i64>,
+    /// Mutex state per target rank: current holder and FIFO of queued lock
+    /// requests (their responses are deferred until the grant).
+    locks: std::collections::HashMap<Rank, LockState>,
+    metrics: Metrics,
+    /// Per-node extra CHT cost from buffer-pool cache pressure.
+    cht_pool_extra: Vec<SimTime>,
+    /// Per-node accumulated CHT busy time (interference source).
+    cht_busy_total: Vec<SimTime>,
+}
+
+impl Engine {
+    /// Builds an engine for `cfg` with one program per rank.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `programs` does not have
+    /// exactly one entry per rank.
+    pub fn new(cfg: RuntimeConfig, programs: Vec<Box<dyn Program>>) -> Self {
+        cfg.validate();
+        assert_eq!(
+            programs.len(),
+            cfg.n_procs as usize,
+            "need exactly one program per rank"
+        );
+        let layout = Layout::new(cfg.n_procs, cfg.procs_per_node);
+        let n_nodes = layout.num_nodes();
+        let topo = cfg.topology.build(n_nodes);
+        let net = Network::new(cfg.net, n_nodes);
+        let procs = (0..cfg.n_procs)
+            .map(|r| ProcState {
+                node: layout.node_of(Rank(r)),
+                phase: Phase::Running,
+                outstanding: 0,
+                last_fetch: None,
+                pending: None,
+                completed_ops: 0,
+                notified: 0,
+                notify_threshold: 0,
+                cht_busy_seen: SimTime::ZERO,
+            })
+            .collect();
+        let chts = (0..n_nodes).map(|_| Cht::new()).collect();
+        let metrics = Metrics::new(cfg.n_procs, cfg.record_ops);
+        let cht_pool_extra = (0..n_nodes)
+            .map(|node| {
+                let pool = crate::memory::node_memory(&cfg, &topo, node).cht_pool_bytes;
+                let mib = pool as f64 / (1024.0 * 1024.0);
+                SimTime::from_nanos((mib * cfg.cht.cache_ns_per_pool_mib).round() as u64)
+            })
+            .collect();
+        Engine {
+            credits: CreditManager::new(cfg.buffers_per_proc),
+            procs,
+            chts,
+            requests: Vec::new(),
+            free_reqs: Vec::new(),
+            barrier_waiting: Vec::new(),
+            barrier_scheduled: false,
+            done_count: 0,
+            fetch_counters: vec![0; cfg.n_procs as usize],
+            locks: std::collections::HashMap::new(),
+            metrics,
+            cht_pool_extra,
+            cht_busy_total: vec![SimTime::ZERO; n_nodes as usize],
+            queue: EventQueue::new(),
+            programs,
+            net,
+            topo,
+            layout,
+            cfg,
+        }
+    }
+
+    /// The virtual topology in use.
+    pub fn topology(&self) -> &Grid {
+        &self.topo
+    }
+
+    /// The rank/node layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Deadlock`] if the system quiesces with blocked
+    /// work.
+    pub fn run(mut self) -> Result<Report, SimError> {
+        for r in 0..self.cfg.n_procs {
+            self.queue.schedule(SimTime::ZERO, Event::ProcReady(Rank(r)));
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.dispatch(now, ev);
+        }
+        if self.done_count < self.cfg.n_procs {
+            return Err(self.deadlock_report());
+        }
+        let finish_time = self
+            .metrics
+            .per_rank
+            .iter()
+            .map(|s| s.done_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut cht_totals = ChtCounters::default();
+        for c in &self.chts {
+            cht_totals.serviced += c.counters.serviced;
+            cht_totals.forwarded += c.counters.forwarded;
+            cht_totals.wakeups += c.counters.wakeups;
+            cht_totals.parked += c.counters.parked;
+            cht_totals.max_queue = cht_totals.max_queue.max(c.counters.max_queue);
+        }
+        let memory_node0 = crate::memory::node_memory(&self.cfg, &self.topo, 0);
+        let top_links = self.net.top_links(8);
+        Ok(Report {
+            finish_time,
+            metrics: self.metrics,
+            net: self.net.counters(),
+            cht_totals,
+            memory_node0,
+            events: self.queue.processed(),
+            top_links,
+        })
+    }
+
+    fn deadlock_report(&self) -> SimError {
+        let mut blocked: Vec<String> = self
+            .credits
+            .blocked()
+            .map(|(key, waiter)| format!("{waiter:?} on edge {:?}", key.edge))
+            .collect();
+        for (r, p) in self.procs.iter().enumerate() {
+            if p.phase != Phase::Done && p.phase != Phase::WaitingCredit {
+                blocked.push(format!("rank{r} stuck in {:?}", p.phase));
+            }
+        }
+        blocked.sort();
+        SimError::Deadlock {
+            at: self.queue.now(),
+            blocked,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::ProcReady(rank) => self.proc_ready(now, rank),
+            Event::RequestArrive { req, node } => self.request_arrive(now, req, node),
+            Event::ChtTryStart { node } => self.cht_try_start(now, node),
+            Event::ChtDone { node, req } => self.cht_done(now, node, req),
+            Event::AckArrive { key } => self.ack_arrive(now, key),
+            Event::ResponseArrive { req } => self.response_arrive(now, req),
+            Event::NotifyArrive { target } => self.notify_rank(now, target),
+            Event::BarrierRelease => self.barrier_release(now),
+        }
+    }
+
+    // ----- process side ---------------------------------------------------
+
+    fn proc_ready(&mut self, now: SimTime, rank: Rank) {
+        if self.procs[rank.idx()].phase == Phase::Done {
+            return;
+        }
+        self.procs[rank.idx()].phase = Phase::Running;
+        let ctx = ProcCtx {
+            rank,
+            now,
+            completed_ops: self.procs[rank.idx()].completed_ops,
+            last_fetch: self.procs[rank.idx()].last_fetch,
+            notified: self.procs[rank.idx()].notified,
+        };
+        let action = self.programs[rank.idx()].next(&ctx);
+        match action {
+            Action::Done => {
+                self.procs[rank.idx()].phase = Phase::Done;
+                self.done_count += 1;
+                self.metrics.rank_done(rank, now);
+                self.maybe_release_barrier(now);
+            }
+            Action::Compute(d) => {
+                // CHT interference: stretch compute by this process's share
+                // of the CHT busy time accrued since its last compute block.
+                let node = self.procs[rank.idx()].node;
+                let delta = self.cht_busy_total[node as usize]
+                    - self.procs[rank.idx()].cht_busy_seen;
+                self.procs[rank.idx()].cht_busy_seen = self.cht_busy_total[node as usize];
+                let steal = SimTime::from_nanos(
+                    (delta.as_nanos() as f64 * self.cfg.cht.cht_interference
+                        / f64::from(self.cfg.procs_per_node))
+                    .round() as u64,
+                );
+                self.queue.schedule(now + d + steal, Event::ProcReady(rank));
+            }
+            Action::Barrier => {
+                self.procs[rank.idx()].phase = Phase::InBarrier;
+                self.barrier_waiting.push(rank);
+                self.maybe_release_barrier(now);
+            }
+            Action::Op(op) => self.issue_op(now, rank, op, true),
+            Action::OpAsync(op) => {
+                self.issue_op(now, rank, op, false);
+                // issue_op leaves phase Running unless credit-blocked.
+                if self.procs[rank.idx()].phase == Phase::Running {
+                    self.queue
+                        .schedule(now + self.cfg.issue_overhead, Event::ProcReady(rank));
+                }
+            }
+            Action::WaitAll => {
+                if self.procs[rank.idx()].outstanding == 0 {
+                    self.queue.schedule(now, Event::ProcReady(rank));
+                } else {
+                    self.procs[rank.idx()].phase = Phase::Fencing;
+                }
+            }
+            Action::WaitNotify(threshold) => {
+                if self.procs[rank.idx()].notified >= threshold {
+                    self.queue.schedule(now, Event::ProcReady(rank));
+                } else {
+                    self.procs[rank.idx()].phase = Phase::WaitingNotify;
+                    self.procs[rank.idx()].notify_threshold = threshold;
+                }
+            }
+        }
+    }
+
+    fn maybe_release_barrier(&mut self, now: SimTime) {
+        if self.barrier_scheduled || self.barrier_waiting.is_empty() {
+            return;
+        }
+        if self.barrier_waiting.len() as u32 + self.done_count == self.cfg.n_procs {
+            let stages = 32 - (self.cfg.n_procs.max(2) - 1).leading_zeros();
+            let latency = self.cfg.barrier_stage * u64::from(stages);
+            self.barrier_scheduled = true;
+            self.queue.schedule(now + latency, Event::BarrierRelease);
+        }
+    }
+
+    fn barrier_release(&mut self, now: SimTime) {
+        self.barrier_scheduled = false;
+        let waiting = std::mem::take(&mut self.barrier_waiting);
+        for rank in waiting {
+            self.queue.schedule(now, Event::ProcReady(rank));
+        }
+    }
+
+    fn alloc_request(&mut self, req: Request) -> ReqId {
+        if let Some(id) = self.free_reqs.pop() {
+            self.requests[id as usize] = req;
+            id
+        } else {
+            self.requests.push(req);
+            (self.requests.len() - 1) as ReqId
+        }
+    }
+
+    fn free_request(&mut self, id: ReqId) {
+        debug_assert!(self.requests[id as usize].live);
+        self.requests[id as usize].live = false;
+        self.free_reqs.push(id);
+    }
+
+    fn issue_op(&mut self, now: SimTime, rank: Rank, op: Op, blocking: bool) {
+        assert!(op.target.0 < self.cfg.n_procs, "op targets unknown {}", op.target);
+        let src_node = self.procs[rank.idx()].node;
+        let target_node = self.layout.node_of(op.target);
+        self.procs[rank.idx()].outstanding += 1;
+        let req = self.alloc_request(Request {
+            op,
+            origin: rank,
+            origin_node: src_node,
+            target_node,
+            issued: now,
+            prev_sender: Sender::Proc(rank),
+            prev_node: src_node,
+            blocking,
+            resp_value: None,
+            credit_held: false,
+            live: true,
+        });
+
+        if target_node == src_node {
+            // Intra-node: served through shared memory, no CHT, no credits.
+            let copy =
+                SimTime::from_nanos((op.bytes as f64 * self.cfg.shm_per_byte_ns).round() as u64);
+            let done = now + self.cfg.issue_overhead + self.net.config().shm_latency + copy;
+            match op.kind {
+                OpKind::FetchAdd => {
+                    self.apply_fetch_add(req);
+                    self.queue.schedule(done, Event::ResponseArrive { req });
+                }
+                OpKind::Lock => {
+                    let state = self.locks.entry(op.target).or_default();
+                    if state.held_by.is_none() {
+                        state.held_by = Some(rank);
+                        self.queue.schedule(done, Event::ResponseArrive { req });
+                    } else {
+                        state.waiting.push_back(req);
+                    }
+                }
+                OpKind::Unlock => {
+                    let state = self.locks.entry(op.target).or_default();
+                    if state.held_by == Some(rank) {
+                        state.held_by = None;
+                        self.queue.schedule(done, Event::ResponseArrive { req });
+                        self.grant_lock_next(now, op.target);
+                    } else {
+                        self.queue.schedule(done, Event::ResponseArrive { req });
+                    }
+                }
+                _ => {
+                    self.queue.schedule(done, Event::ResponseArrive { req });
+                }
+            }
+            if op.notify {
+                self.queue
+                    .schedule(done, Event::NotifyArrive { target: op.target });
+            }
+        } else if op.kind.is_direct() {
+            // RDMA path: request to the target NIC, hardware-level response.
+            let t0 = now + self.cfg.issue_overhead;
+            let d1 = self.net.send(t0, src_node, target_node, op.request_bytes());
+            let d2 = self
+                .net
+                .send(d1.at, target_node, src_node, op.response_bytes());
+            self.queue.schedule(d2.at, Event::ResponseArrive { req });
+            if op.notify {
+                self.queue
+                    .schedule(d1.at, Event::NotifyArrive { target: op.target });
+            }
+        } else {
+            // CHT path over the virtual topology.
+            let first = self
+                .topo
+                .next_hop(src_node, target_node)
+                .expect("distinct nodes must have a next hop");
+            let key = CreditKey {
+                sender: Sender::Proc(rank),
+                edge: (src_node, first),
+            };
+            if self.credits.try_acquire(key) {
+                self.send_request(now + self.cfg.issue_overhead, req, src_node, first);
+            } else {
+                self.credits.wait(key, Waiter::Proc(rank));
+                self.procs[rank.idx()].pending = Some(PendingIssue {
+                    req,
+                    first_hop: first,
+                });
+                self.procs[rank.idx()].phase = Phase::WaitingCredit;
+                return;
+            }
+        }
+        if blocking {
+            self.procs[rank.idx()].phase = Phase::WaitingResponse;
+        }
+    }
+
+    /// Puts a request on the wire towards `to` at time `at`.
+    fn send_request(&mut self, at: SimTime, req: ReqId, from: NodeId, to: NodeId) {
+        let bytes = self.requests[req as usize].op.request_bytes();
+        let d = self.net.send(at, from, to, bytes);
+        self.queue.schedule(d.at, Event::RequestArrive { req, node: to });
+    }
+
+    // ----- server side ----------------------------------------------------
+
+    fn request_arrive(&mut self, now: SimTime, req: ReqId, node: NodeId) {
+        if self.chts[node as usize].enqueue(req) {
+            self.queue.schedule(now, Event::ChtTryStart { node });
+        }
+    }
+
+    /// Attempts to start servicing the CHT's queue: parks forwards whose
+    /// downstream credit is exhausted (they keep their upstream buffer) and
+    /// starts the first serviceable request, if any.
+    fn cht_try_start(&mut self, now: SimTime, node: NodeId) {
+        if self.chts[node as usize].is_busy() {
+            return;
+        }
+        while let Some(req) = self.chts[node as usize].head() {
+            let r = self.requests[req as usize];
+            let terminal = r.target_node == node;
+            if !terminal && !r.credit_held {
+                let next = self
+                    .topo
+                    .next_hop(node, r.target_node)
+                    .expect("forwarding implies a next hop");
+                let key = CreditKey {
+                    sender: Sender::Cht(node),
+                    edge: (node, next),
+                };
+                if !self.credits.try_acquire(key) {
+                    // Park: set the request aside until an ack returns a
+                    // credit, and keep draining the queue.
+                    self.chts[node as usize].pop_head();
+                    self.chts[node as usize].note_parked();
+                    self.credits.wait(key, Waiter::Fwd { node, req });
+                    continue;
+                }
+            }
+            self.chts[node as usize].pop_head();
+            self.requests[req as usize].credit_held = false;
+            let wake = self.chts[node as usize].begin_service(
+                now,
+                self.cfg.cht.poll_window,
+                self.cfg.cht.wakeup_latency,
+            );
+            let dur = self.cht_pool_extra[node as usize]
+                + if terminal {
+                    self.cfg.cht.service_time(&r.op)
+                } else {
+                    self.cfg.cht.forward_time(&r.op)
+                };
+            self.cht_busy_total[node as usize] += wake + dur;
+            self.queue
+                .schedule(now + wake + dur, Event::ChtDone { node, req });
+            return;
+        }
+    }
+
+    fn cht_done(&mut self, now: SimTime, node: NodeId, req: ReqId) {
+        self.chts[node as usize].end_service(now);
+        let r = self.requests[req as usize];
+
+        // Return the upstream sender's buffer credit with an explicit ack.
+        let up_key = CreditKey {
+            sender: r.prev_sender,
+            edge: (r.prev_node, node),
+        };
+        let ack = self.net.send(now, node, r.prev_node, Op::ack_bytes());
+        self.queue.schedule(ack.at, Event::AckArrive { key: up_key });
+
+        if r.target_node == node {
+            // Terminal service: apply and respond directly to the origin.
+            self.chts[node as usize].counters.serviced += 1;
+            if r.op.notify {
+                self.notify_rank(now, r.op.target);
+            }
+            match r.op.kind {
+                OpKind::FetchAdd => {
+                    self.apply_fetch_add(req);
+                    self.respond(now, req);
+                }
+                OpKind::Lock => {
+                    let state = self.locks.entry(r.op.target).or_default();
+                    if state.held_by.is_none() {
+                        state.held_by = Some(r.origin);
+                        self.respond(now, req);
+                    } else {
+                        // Queued: the response (grant) is deferred until the
+                        // holder unlocks. The request has been absorbed into
+                        // CHT memory, so the upstream buffer was still freed.
+                        state.waiting.push_back(req);
+                    }
+                }
+                OpKind::Unlock => {
+                    let state = self.locks.entry(r.op.target).or_default();
+                    if state.held_by == Some(r.origin) {
+                        state.held_by = None;
+                        self.respond(now, req);
+                        self.grant_lock_next(now, r.op.target);
+                    } else {
+                        // Unlock of a mutex not held by the caller: no-op.
+                        self.respond(now, req);
+                    }
+                }
+                _ => self.respond(now, req),
+            }
+        } else {
+            // Forward one LDF hop (the credit was acquired at service start).
+            let next = self
+                .topo
+                .next_hop(node, r.target_node)
+                .expect("forwarding implies a next hop");
+            self.chts[node as usize].counters.forwarded += 1;
+            let slot = &mut self.requests[req as usize];
+            slot.prev_sender = Sender::Cht(node);
+            slot.prev_node = node;
+            self.send_request(now, req, node, next);
+        }
+
+        if self.chts[node as usize].queue_len() > 0 {
+            self.queue.schedule(now, Event::ChtTryStart { node });
+        }
+    }
+
+    /// Sends `req`'s response from its target node to its origin.
+    fn respond(&mut self, now: SimTime, req: ReqId) {
+        let r = self.requests[req as usize];
+        if r.target_node == r.origin_node {
+            let at = now + self.net.config().shm_latency;
+            self.queue.schedule(at, Event::ResponseArrive { req });
+        } else {
+            let resp = self
+                .net
+                .send(now, r.target_node, r.origin_node, r.op.response_bytes());
+            self.queue.schedule(resp.at, Event::ResponseArrive { req });
+        }
+    }
+
+    /// Grants the mutex owned by `target` to the next queued lock request,
+    /// if any.
+    fn grant_lock_next(&mut self, now: SimTime, target: Rank) {
+        let state = self.locks.entry(target).or_default();
+        debug_assert!(state.held_by.is_none());
+        if let Some(next_req) = state.waiting.pop_front() {
+            state.held_by = Some(self.requests[next_req as usize].origin);
+            self.respond(now, next_req);
+        }
+    }
+
+    /// Raises `target`'s notification counter and wakes it if its
+    /// WaitNotify threshold is now met.
+    fn notify_rank(&mut self, now: SimTime, target: Rank) {
+        let proc = &mut self.procs[target.idx()];
+        proc.notified += 1;
+        if proc.phase == Phase::WaitingNotify && proc.notified >= proc.notify_threshold {
+            proc.phase = Phase::Running;
+            self.queue.schedule(now, Event::ProcReady(target));
+        }
+    }
+
+    fn apply_fetch_add(&mut self, req: ReqId) {
+        let (target, amount) = {
+            let r = &self.requests[req as usize];
+            (r.op.target, r.op.amount)
+        };
+        let old = self.fetch_counters[target.idx()];
+        self.fetch_counters[target.idx()] += amount;
+        self.requests[req as usize].resp_value = Some(old);
+    }
+
+    fn ack_arrive(&mut self, now: SimTime, key: CreditKey) {
+        match self.credits.release(key) {
+            None => {}
+            Some(Waiter::Proc(rank)) => {
+                // The credit transferred to the blocked process: send its
+                // pending request now.
+                let pending = self.procs[rank.idx()]
+                    .pending
+                    .take()
+                    .expect("granted proc must have a pending issue");
+                let node = self.procs[rank.idx()].node;
+                debug_assert_eq!(key.edge, (node, pending.first_hop));
+                self.send_request(now, pending.req, node, pending.first_hop);
+                if self.requests[pending.req as usize].blocking {
+                    self.procs[rank.idx()].phase = Phase::WaitingResponse;
+                } else {
+                    self.procs[rank.idx()].phase = Phase::Running;
+                    self.queue
+                        .schedule(now + self.cfg.issue_overhead, Event::ProcReady(rank));
+                }
+            }
+            Some(Waiter::Fwd { node, req }) => {
+                // The parked forward now holds its downstream credit; put it
+                // back at the front of the queue (it is the oldest work).
+                self.requests[req as usize].credit_held = true;
+                if self.chts[node as usize].enqueue_front(req) {
+                    self.queue.schedule(now, Event::ChtTryStart { node });
+                }
+            }
+        }
+    }
+
+    fn response_arrive(&mut self, now: SimTime, req: ReqId) {
+        let r = self.requests[req as usize];
+        debug_assert!(r.live);
+        let rank = r.origin;
+        let proc = &mut self.procs[rank.idx()];
+        proc.outstanding -= 1;
+        proc.completed_ops += 1;
+        if let Some(v) = r.resp_value {
+            proc.last_fetch = Some(v);
+        }
+        let fencing_done = proc.phase == Phase::Fencing && proc.outstanding == 0;
+        self.metrics.complete_op(rank, r.op.kind, r.issued, now);
+        self.free_request(req);
+        if r.blocking || fencing_done {
+            self.queue.schedule(now, Event::ProcReady(rank));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ClosureProgram, ScriptProgram};
+    use vt_core::TopologyKind;
+
+    fn small_cfg(n_procs: u32, topo: TopologyKind) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::new(n_procs, topo);
+        cfg.record_ops = true;
+        cfg
+    }
+
+    fn run_all(
+        cfg: RuntimeConfig,
+        mk: impl Fn(Rank) -> Box<dyn Program>,
+    ) -> Report {
+        let programs = (0..cfg.n_procs).map(|r| mk(Rank(r))).collect();
+        Engine::new(cfg, programs).run().expect("no deadlock")
+    }
+
+    #[test]
+    fn all_idle_finishes_at_zero() {
+        let report = run_all(small_cfg(8, TopologyKind::Fcg), |_| {
+            Box::new(ScriptProgram::new(vec![]))
+        });
+        assert_eq!(report.finish_time, SimTime::ZERO);
+        assert_eq!(report.metrics.total_ops(), 0);
+    }
+
+    #[test]
+    fn single_blocking_putv_completes() {
+        // 8 procs, 4 ppn -> 2 nodes; rank 4 sends a vectored put to rank 0.
+        let report = run_all(small_cfg(8, TopologyKind::Fcg), |r| {
+            if r == Rank(4) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::put_v(
+                    Rank(0),
+                    4,
+                    1024,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[4].ops, 1);
+        let lat = report.metrics.per_rank[4].latency_us.mean();
+        // Sane magnitude: tens of microseconds, not zero, not seconds.
+        assert!(lat > 5.0 && lat < 200.0, "latency {lat}us");
+        assert_eq!(report.cht_totals.serviced, 1);
+        assert_eq!(report.cht_totals.forwarded, 0);
+    }
+
+    #[test]
+    fn local_op_bypasses_cht() {
+        let report = run_all(small_cfg(4, TopologyKind::Fcg), |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::acc(Rank(0), 4096))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.cht_totals.serviced, 0);
+        assert_eq!(report.net.messages, 0);
+        assert_eq!(report.metrics.per_rank[1].ops, 1);
+        let lat = report.metrics.per_rank[1].latency_us.mean();
+        assert!(lat < 10.0, "intra-node op should be fast, got {lat}us");
+    }
+
+    #[test]
+    fn direct_put_bypasses_cht_but_uses_network() {
+        let report = run_all(small_cfg(8, TopologyKind::Fcg), |r| {
+            if r == Rank(4) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::put(Rank(0), 8192))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.cht_totals.serviced, 0);
+        assert_eq!(report.net.messages, 2); // payload + hardware ack
+    }
+
+    #[test]
+    fn mfcg_forwards_non_neighbor_requests() {
+        // 9 nodes on a 3x3 MFCG at 1 ppn: rank 8 -> rank 0 needs one forward.
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(8) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(0),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.cht_totals.forwarded, 1);
+        assert_eq!(report.cht_totals.serviced, 1);
+    }
+
+    #[test]
+    fn fetch_add_returns_running_counter() {
+        // Three ranks each fetch-add 1 on rank 0's counter; the returned
+        // values must be a permutation of {0, 1, 2}.
+        let mut cfg = small_cfg(4, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::<i64>::new()));
+        let programs: Vec<Box<dyn Program>> = (0..4)
+            .map(|_| {
+                let seen = seen.clone();
+                let mut fired = false;
+                Box::new(ClosureProgram::new(move |ctx: &ProcCtx| {
+                    if ctx.rank == Rank(0) {
+                        return Action::Done;
+                    }
+                    if !fired {
+                        fired = true;
+                        return Action::Op(Op::fetch_add(Rank(0), 1));
+                    }
+                    if let Some(v) = ctx.last_fetch {
+                        seen.lock().unwrap().push(v);
+                    }
+                    Action::Done
+                })) as Box<dyn Program>
+            })
+            .collect();
+        let report = Engine::new(cfg, programs).run().unwrap();
+        assert_eq!(report.metrics.total_ops(), 3);
+        let mut vals = seen.lock().unwrap().clone();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn async_ops_fence_with_waitall() {
+        let mut cfg = small_cfg(4, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(3) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::OpAsync(Op::acc(Rank(0), 1024)),
+                    Action::OpAsync(Op::acc(Rank(1), 1024)),
+                    Action::OpAsync(Op::acc(Rank(2), 1024)),
+                    Action::WaitAll,
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[3].ops, 3);
+        assert_eq!(report.cht_totals.serviced, 3);
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        // Rank 0 computes 1 ms then barriers; everyone else barriers
+        // immediately. All must finish at (or after) the release.
+        let cfg = small_cfg(8, TopologyKind::Fcg);
+        let report = run_all(cfg, |r| {
+            if r == Rank(0) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Compute(SimTime::from_millis(1)),
+                    Action::Barrier,
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![Action::Barrier]))
+            }
+        });
+        assert!(report.finish_time >= SimTime::from_millis(1));
+        for s in &report.metrics.per_rank {
+            assert!(s.done_at >= SimTime::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn credit_exhaustion_blocks_then_recovers() {
+        // One sender with M = 1 credit fires 5 async accs at the same
+        // remote target: issues must serialise on the credit but all
+        // complete.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        cfg.buffers_per_proc = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::OpAsync(Op::acc(Rank(0), 512)),
+                    Action::OpAsync(Op::acc(Rank(0), 512)),
+                    Action::OpAsync(Op::acc(Rank(0), 512)),
+                    Action::OpAsync(Op::acc(Rank(0), 512)),
+                    Action::OpAsync(Op::acc(Rank(0), 512)),
+                    Action::WaitAll,
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[1].ops, 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = |cfg: RuntimeConfig| {
+            run_all(cfg, |r| {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::put_v(Rank((r.0 + 1) % 16), 4, 512)),
+                    Action::Barrier,
+                    Action::Op(Op::fetch_add(Rank(0), 1)),
+                ]))
+            })
+        };
+        let a = mk(small_cfg(16, TopologyKind::Mfcg));
+        let b = mk(small_cfg(16, TopologyKind::Mfcg));
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.net, b.net);
+        assert_eq!(
+            a.metrics.mean_latency_by_rank_us(),
+            b.metrics.mean_latency_by_rank_us()
+        );
+    }
+
+    #[test]
+    fn lock_is_granted_fifo_and_excludes() {
+        // Ranks 1 and 2 both lock rank 0's mutex, hold it for 1 ms of
+        // compute, then unlock. The second lock must be delayed by the
+        // first holder's critical section.
+        let mut cfg = small_cfg(3, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(0) {
+                Box::new(ScriptProgram::new(vec![]))
+            } else {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::lock(Rank(0))),
+                    Action::Compute(SimTime::from_millis(1)),
+                    Action::Op(Op::unlock(Rank(0))),
+                ]))
+            }
+        });
+        let locks: Vec<_> = report
+            .metrics
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Lock)
+            .collect();
+        assert_eq!(locks.len(), 2);
+        let mut lat: Vec<SimTime> = locks.iter().map(|o| o.latency()).collect();
+        lat.sort_unstable();
+        // One immediate grant, one delayed by at least the 1 ms hold.
+        assert!(lat[0] < SimTime::from_millis(1));
+        assert!(lat[1] >= SimTime::from_millis(1), "second lock {:?}", lat[1]);
+        // Both critical sections completed: 2 locks + 2 unlocks.
+        assert_eq!(report.metrics.total_ops(), 4);
+    }
+
+    #[test]
+    fn unheld_unlock_is_a_noop() {
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::unlock(Rank(0)))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.total_ops(), 1);
+    }
+
+    #[test]
+    fn intra_node_lock_contention_respects_mutex() {
+        // Two ranks on the same node as the mutex owner: the local path
+        // must still serialise the critical sections.
+        let report = run_all(small_cfg(4, TopologyKind::Fcg), |r| {
+            if r == Rank(1) || r == Rank(2) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::lock(Rank(0))),
+                    Action::Compute(SimTime::from_millis(2)),
+                    Action::Op(Op::unlock(Rank(0))),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        // Total time covers two back-to-back 2 ms critical sections.
+        assert!(report.finish_time >= SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn blocked_lock_holder_shows_as_deadlock_if_never_released() {
+        // A rank that locks and never unlocks leaves a queued second lock
+        // with no pending events: the engine must report the quiescence
+        // instead of hanging or mis-completing.
+        let mut cfg = small_cfg(3, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let programs: Vec<Box<dyn Program>> = (0..3)
+            .map(|r| {
+                Box::new(ScriptProgram::new(if r == 0 {
+                    vec![]
+                } else {
+                    vec![Action::Op(Op::lock(Rank(0)))]
+                })) as Box<dyn Program>
+            })
+            .collect();
+        let err = Engine::new(cfg, programs).run().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn notify_wakes_a_waiting_consumer() {
+        // Rank 1 waits for two notifications; rank 2 computes 1 ms, then
+        // sends two notifying puts. Rank 1 must finish after the producer's
+        // compute block.
+        let mut cfg = small_cfg(3, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| match r.0 {
+            1 => Box::new(ScriptProgram::new(vec![Action::WaitNotify(2)])),
+            2 => Box::new(ScriptProgram::new(vec![
+                Action::Compute(SimTime::from_millis(1)),
+                Action::Op(Op::put(Rank(1), 4096).with_notify()),
+                Action::Op(Op::put_v(Rank(1), 4, 256).with_notify()),
+            ])),
+            _ => Box::new(ScriptProgram::new(vec![])),
+        });
+        let consumer_done = report.metrics.per_rank[1].done_at;
+        assert!(consumer_done >= SimTime::from_millis(1));
+        assert!(report.finish_time >= consumer_done);
+    }
+
+    #[test]
+    fn wait_notify_already_satisfied_is_immediate() {
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(0) {
+                Box::new(ScriptProgram::new(vec![Action::WaitNotify(0)]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[0].done_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn missing_notification_is_reported_as_deadlock() {
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(ScriptProgram::new(vec![Action::WaitNotify(1)])),
+            Box::new(ScriptProgram::new(vec![])),
+        ];
+        let err = Engine::new(cfg, programs).run().unwrap_err();
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn notify_counts_accumulate_across_waits() {
+        // A two-stage pipeline: rank 0 waits for 1, then for 2 cumulative
+        // notifications.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(0) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::WaitNotify(1),
+                    Action::Compute(SimTime::from_micros(10)),
+                    Action::WaitNotify(2),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::acc(Rank(0), 128).with_notify()),
+                    Action::Compute(SimTime::from_millis(2)),
+                    Action::Op(Op::acc(Rank(0), 128).with_notify()),
+                ]))
+            }
+        });
+        assert!(report.metrics.per_rank[0].done_at >= SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn hypercube_runs_end_to_end() {
+        let mut cfg = small_cfg(16, TopologyKind::Hypercube);
+        cfg.procs_per_node = 1;
+        let report = run_all(cfg, |r| {
+            if r == Rank(15) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::get_v(
+                    Rank(0),
+                    2,
+                    256,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        // 15 -> 0 on a 16-node hypercube: 4 hops = 3 forwards + 1 service.
+        assert_eq!(report.cht_totals.forwarded, 3);
+        assert_eq!(report.cht_totals.serviced, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # vt-armci — an ARMCI-like GAS runtime model
+//!
+//! This crate models the Aggregate Remote Memory Copy Interface runtime the
+//! paper instruments, at the level of detail its evaluation depends on:
+//!
+//! * **Processes and nodes** — ranks packed densely onto nodes
+//!   ([`Layout`]); the lowest rank per node is the master hosting the
+//!   communication helper thread.
+//! * **The CHT** ([`cht`]) — a serial FIFO server per node handling the
+//!   operations Portals cannot do one-sidedly (vectored/strided transfers,
+//!   accumulate, atomics, locks), with a polling-window/wakeup model.
+//! * **Request buffers as credits** ([`buffers`]) — each sender owns `M`
+//!   request-buffer slots at every node it is directly connected to in the
+//!   virtual topology; requests genuinely block on exhausted credits and
+//!   buffers are returned by explicit acknowledgements, so deadlock freedom
+//!   of the forwarding order is *observable*, not assumed.
+//! * **Virtual-topology forwarding** — CHT-path requests travel the LDF
+//!   route of the configured [`TopologyKind`](vt_core::TopologyKind); the
+//!   contiguous put/get fast path goes straight to RDMA, untouched by the
+//!   topology (paper §II).
+//! * **Workloads** ([`workload`]) — per-rank [`Program`]s built from
+//!   blocking/async one-sided [`Op`]s, compute blocks, fences and barriers.
+//! * **Measurement** ([`metrics`], [`memory`]) — per-rank latency series
+//!   (Figs. 6/7), runtime memory accounting (Fig. 5) and network/CHT
+//!   counters.
+//!
+//! Everything runs on the deterministic `vt-simnet` machine model; a given
+//! configuration and seed reproduces bit-identical timelines.
+//!
+//! Entry point: [`Simulation`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod buffers;
+pub mod cht;
+pub mod config;
+pub mod engine;
+pub mod ids;
+pub mod layout;
+pub mod memory;
+pub mod metrics;
+pub mod ops;
+pub mod sim;
+pub mod trace;
+pub mod workload;
+
+pub use config::{ChtConfig, RuntimeConfig};
+pub use engine::{Report, SimError};
+pub use ids::{NodeId, Rank, Sender};
+pub use layout::Layout;
+pub use memory::{node_memory, NodeMemory};
+pub use metrics::{Metrics, OpRecord, RankStats};
+pub use ops::{Op, OpKind};
+pub use sim::Simulation;
+pub use workload::{Action, ClosureProgram, IdleProgram, ProcCtx, Program, ScriptProgram};
+
+// Re-exported so workloads don't need a direct vt-simnet dependency for
+// time arithmetic.
+pub use vt_simnet::SimTime;

@@ -1,0 +1,133 @@
+//! Measurement collection.
+
+use crate::ids::Rank;
+use crate::ops::OpKind;
+use vt_simnet::stats::Summary;
+use vt_simnet::SimTime;
+
+/// One completed operation (recorded only when
+/// [`RuntimeConfig::record_ops`](crate::RuntimeConfig::record_ops) is set).
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Issuing rank.
+    pub rank: Rank,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Issue time.
+    pub issued: SimTime,
+    /// Completion time (response received).
+    pub completed: SimTime,
+}
+
+impl OpRecord {
+    /// Operation latency.
+    pub fn latency(&self) -> SimTime {
+        self.completed - self.issued
+    }
+}
+
+/// Per-rank aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Latency summary over this rank's completed operations (µs).
+    pub latency_us: Summary,
+    /// Operations completed.
+    pub ops: u64,
+    /// Time this rank finished its program.
+    pub done_at: SimTime,
+}
+
+/// All measurements from one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Per-rank aggregates, indexed by rank.
+    pub per_rank: Vec<RankStats>,
+    /// Full operation trace, when enabled.
+    pub ops: Vec<OpRecord>,
+    record_ops: bool,
+}
+
+impl Metrics {
+    /// Collection for `n_procs` ranks; `record_ops` keeps the full trace.
+    pub fn new(n_procs: u32, record_ops: bool) -> Self {
+        Metrics {
+            per_rank: vec![RankStats::default(); n_procs as usize],
+            ops: Vec::new(),
+            record_ops,
+        }
+    }
+
+    /// Records one completed operation.
+    pub fn complete_op(&mut self, rank: Rank, kind: OpKind, issued: SimTime, completed: SimTime) {
+        let stats = &mut self.per_rank[rank.idx()];
+        stats.ops += 1;
+        stats.latency_us.push((completed - issued).as_micros_f64());
+        if self.record_ops {
+            self.ops.push(OpRecord {
+                rank,
+                kind,
+                issued,
+                completed,
+            });
+        }
+    }
+
+    /// Marks a rank's program finished.
+    pub fn rank_done(&mut self, rank: Rank, at: SimTime) {
+        self.per_rank[rank.idx()].done_at = at;
+    }
+
+    /// Mean operation latency (µs) per rank, in rank order — the series the
+    /// paper's Figs. 6 and 7 plot.
+    pub fn mean_latency_by_rank_us(&self) -> Vec<f64> {
+        self.per_rank.iter().map(|s| s.latency_us.mean()).collect()
+    }
+
+    /// Total operations completed across all ranks.
+    pub fn total_ops(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_latency_per_rank() {
+        let mut m = Metrics::new(2, true);
+        m.complete_op(
+            Rank(1),
+            OpKind::PutV,
+            SimTime::from_micros(10),
+            SimTime::from_micros(40),
+        );
+        m.complete_op(
+            Rank(1),
+            OpKind::PutV,
+            SimTime::from_micros(50),
+            SimTime::from_micros(60),
+        );
+        assert_eq!(m.per_rank[1].ops, 2);
+        assert_eq!(m.per_rank[1].latency_us.mean(), 20.0);
+        assert_eq!(m.ops.len(), 2);
+        assert_eq!(m.ops[0].latency(), SimTime::from_micros(30));
+        assert_eq!(m.total_ops(), 2);
+        assert_eq!(m.mean_latency_by_rank_us(), vec![0.0, 20.0]);
+    }
+
+    #[test]
+    fn trace_disabled_keeps_aggregates_only() {
+        let mut m = Metrics::new(1, false);
+        m.complete_op(Rank(0), OpKind::Get, SimTime::ZERO, SimTime::from_micros(5));
+        assert!(m.ops.is_empty());
+        assert_eq!(m.per_rank[0].ops, 1);
+    }
+
+    #[test]
+    fn rank_done_records_time() {
+        let mut m = Metrics::new(1, false);
+        m.rank_done(Rank(0), SimTime::from_secs(3));
+        assert_eq!(m.per_rank[0].done_at, SimTime::from_secs(3));
+    }
+}

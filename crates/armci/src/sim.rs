@@ -1,0 +1,99 @@
+//! The [`Simulation`] façade.
+
+use crate::config::RuntimeConfig;
+use crate::engine::{Engine, Report, SimError};
+use crate::ids::Rank;
+use crate::workload::Program;
+
+/// A configured ARMCI job ready to run.
+///
+/// ```
+/// use vt_armci::{Action, Op, Rank, RuntimeConfig, ScriptProgram, Simulation};
+/// use vt_core::TopologyKind;
+///
+/// let mut cfg = RuntimeConfig::new(8, TopologyKind::Mfcg);
+/// cfg.record_ops = true;
+/// let sim = Simulation::build(cfg, |rank| {
+///     if rank == Rank(7) {
+///         ScriptProgram::new(vec![Action::Op(Op::put_v(Rank(0), 4, 1024))])
+///     } else {
+///         ScriptProgram::new(vec![])
+///     }
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.metrics.total_ops(), 1);
+/// ```
+pub struct Simulation {
+    engine: Engine,
+}
+
+impl Simulation {
+    /// Builds a simulation with an explicit program per rank.
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != cfg.n_procs` or the configuration is
+    /// invalid.
+    pub fn new(cfg: RuntimeConfig, programs: Vec<Box<dyn Program>>) -> Self {
+        Simulation {
+            engine: Engine::new(cfg, programs),
+        }
+    }
+
+    /// Builds a simulation from a per-rank program constructor.
+    pub fn build<P, F>(cfg: RuntimeConfig, mut mk: F) -> Self
+    where
+        P: Program + 'static,
+        F: FnMut(Rank) -> P,
+    {
+        let programs = (0..cfg.n_procs)
+            .map(|r| Box::new(mk(Rank(r))) as Box<dyn Program>)
+            .collect();
+        Self::new(cfg, programs)
+    }
+
+    /// The virtual topology the job runs over.
+    pub fn topology(&self) -> &vt_core::Grid {
+        self.engine.topology()
+    }
+
+    /// Runs the job to completion.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] when the system quiesces with blocked work.
+    pub fn run(self) -> Result<Report, SimError> {
+        self.engine.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use crate::workload::{Action, ScriptProgram};
+    use vt_core::TopologyKind;
+
+    #[test]
+    fn build_constructs_per_rank_programs() {
+        let cfg = RuntimeConfig::new(4, TopologyKind::Fcg);
+        let sim = Simulation::build(cfg, |rank| {
+            ScriptProgram::new(if rank == Rank(3) {
+                vec![Action::Op(Op::fetch_add(Rank(0), 1))]
+            } else {
+                vec![]
+            })
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.metrics.total_ops(), 1);
+        assert!(report.finish_time > vt_simnet::SimTime::ZERO);
+    }
+
+    #[test]
+    fn topology_accessor_reflects_config() {
+        let cfg = RuntimeConfig::new(64, TopologyKind::Cfcg);
+        let sim = Simulation::build(cfg, |_| ScriptProgram::new(vec![]));
+        assert_eq!(
+            vt_core::VirtualTopology::kind(sim.topology()),
+            TopologyKind::Cfcg
+        );
+    }
+}

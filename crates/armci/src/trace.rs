@@ -1,0 +1,93 @@
+//! Trace export: operation records and per-rank summaries as CSV, for
+//! offline analysis of simulation runs.
+
+use crate::engine::Report;
+use std::io::{self, Write};
+
+/// Writes the full operation trace as CSV (`rank,kind,issued_us,
+/// completed_us,latency_us`). Requires the run to have had
+/// [`record_ops`](crate::RuntimeConfig::record_ops) enabled; otherwise only
+/// the header is produced.
+pub fn write_op_trace<W: Write>(report: &Report, mut w: W) -> io::Result<()> {
+    writeln!(w, "rank,kind,issued_us,completed_us,latency_us")?;
+    for op in &report.metrics.ops {
+        writeln!(
+            w,
+            "{},{},{:.3},{:.3},{:.3}",
+            op.rank.0,
+            op.kind.name(),
+            op.issued.as_micros_f64(),
+            op.completed.as_micros_f64(),
+            op.latency().as_micros_f64(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes per-rank aggregates as CSV (`rank,ops,mean_us,std_us,min_us,
+/// max_us,done_at_us`).
+pub fn write_rank_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()> {
+    writeln!(w, "rank,ops,mean_us,std_us,min_us,max_us,done_at_us")?;
+    for (rank, s) in report.metrics.per_rank.iter().enumerate() {
+        writeln!(
+            w,
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            rank,
+            s.ops,
+            s.latency_us.mean(),
+            s.latency_us.std_dev(),
+            s.latency_us.min(),
+            s.latency_us.max(),
+            s.done_at.as_micros_f64(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Rank;
+    use crate::ops::Op;
+    use crate::workload::{Action, ScriptProgram};
+    use crate::{RuntimeConfig, Simulation};
+    use vt_core::TopologyKind;
+
+    fn sample_report() -> Report {
+        let mut cfg = RuntimeConfig::new(4, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        cfg.record_ops = true;
+        Simulation::build(cfg, |rank| {
+            ScriptProgram::new(if rank == Rank(0) {
+                vec![]
+            } else {
+                vec![Action::Op(Op::fetch_add(Rank(0), 1))]
+            })
+        })
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn op_trace_has_one_row_per_op() {
+        let report = sample_report();
+        let mut buf = Vec::new();
+        write_op_trace(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 3); // header + three fadds
+        assert!(lines[0].starts_with("rank,kind"));
+        assert!(lines[1].contains(",fadd,"));
+    }
+
+    #[test]
+    fn rank_summary_covers_all_ranks() {
+        let report = sample_report();
+        let mut buf = Vec::new();
+        write_rank_summary(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.trim().lines().count(), 1 + 4);
+        // Rank 0 did nothing.
+        assert!(text.lines().nth(1).unwrap().starts_with("0,0,"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Process programs: the interface between workloads and the engine.
+//!
+//! Each rank runs a [`Program`] — a resumable state machine the engine asks
+//! for the next [`Action`] whenever the process becomes ready (start-up, an
+//! operation completed, a compute block ended, a barrier released). Programs
+//! never see simulation internals; they observe time and their last
+//! fetch-&-add result through [`ProcCtx`].
+
+use crate::ids::Rank;
+use crate::ops::Op;
+use vt_simnet::SimTime;
+
+/// What a process does next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Issue a one-sided operation and wait for its completion.
+    Op(Op),
+    /// Issue a one-sided operation and continue immediately (completion is
+    /// tracked; use [`Action::WaitAll`] to fence).
+    OpAsync(Op),
+    /// Wait until all of this rank's outstanding async operations complete.
+    WaitAll,
+    /// Wait until this rank's cumulative notification counter reaches the
+    /// given value (raised by remote operations built with
+    /// [`Op::with_notify`](crate::Op::with_notify) — producer/consumer and
+    /// wavefront dependencies).
+    WaitNotify(u64),
+    /// Spend local compute time.
+    Compute(SimTime),
+    /// Enter the global barrier; resume when every rank has entered.
+    Barrier,
+    /// Terminate this rank's program.
+    Done,
+}
+
+/// Read-only view a program gets when asked for its next action.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcCtx {
+    /// This process's rank.
+    pub rank: Rank,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Operations completed by this rank so far (blocking + async).
+    pub completed_ops: u64,
+    /// The value returned by this rank's most recent fetch-&-add (the
+    /// counter's value *before* the add), if any.
+    pub last_fetch: Option<i64>,
+    /// Notifications received by this rank so far (cumulative).
+    pub notified: u64,
+}
+
+/// A per-rank workload.
+pub trait Program: Send {
+    /// Returns the next action. Called once at start-up and once after each
+    /// wait-causing action resolves. After returning [`Action::Done`] it is
+    /// never called again.
+    fn next(&mut self, ctx: &ProcCtx) -> Action;
+}
+
+/// A program built from a closure — convenient for tests and examples.
+///
+/// ```
+/// use vt_armci::{Action, ClosureProgram, Op, Rank};
+///
+/// let mut issued = 0;
+/// let _prog = ClosureProgram::new(move |ctx| {
+///     if issued < 3 && ctx.rank != Rank(0) {
+///         issued += 1;
+///         Action::Op(Op::fetch_add(Rank(0), 1))
+///     } else {
+///         Action::Done
+///     }
+/// });
+/// ```
+pub struct ClosureProgram<F>(F);
+
+impl<F> ClosureProgram<F>
+where
+    F: FnMut(&ProcCtx) -> Action + Send,
+{
+    /// Wraps a closure as a [`Program`].
+    pub fn new(f: F) -> Self {
+        ClosureProgram(f)
+    }
+}
+
+impl<F> Program for ClosureProgram<F>
+where
+    F: FnMut(&ProcCtx) -> Action + Send,
+{
+    fn next(&mut self, ctx: &ProcCtx) -> Action {
+        (self.0)(ctx)
+    }
+}
+
+/// A program that immediately finishes — for ranks that sit out a scenario.
+pub struct IdleProgram;
+
+impl Program for IdleProgram {
+    fn next(&mut self, _ctx: &ProcCtx) -> Action {
+        Action::Done
+    }
+}
+
+/// A program that replays a fixed list of actions, then finishes.
+pub struct ScriptProgram {
+    actions: std::vec::IntoIter<Action>,
+}
+
+impl ScriptProgram {
+    /// A program performing `actions` in order.
+    pub fn new(actions: Vec<Action>) -> Self {
+        ScriptProgram {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl Program for ScriptProgram {
+    fn next(&mut self, _ctx: &ProcCtx) -> Action {
+        self.actions.next().unwrap_or(Action::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ProcCtx {
+        ProcCtx {
+            rank: Rank(1),
+            now: SimTime::ZERO,
+            completed_ops: 0,
+            last_fetch: None,
+            notified: 0,
+        }
+    }
+
+    #[test]
+    fn closure_program_runs_closure() {
+        let mut calls = 0;
+        let mut p = ClosureProgram::new(move |_| {
+            calls += 1;
+            if calls > 2 {
+                Action::Done
+            } else {
+                Action::Barrier
+            }
+        });
+        assert_eq!(p.next(&ctx()), Action::Barrier);
+        assert_eq!(p.next(&ctx()), Action::Barrier);
+        assert_eq!(p.next(&ctx()), Action::Done);
+    }
+
+    #[test]
+    fn idle_program_is_done_immediately() {
+        assert_eq!(IdleProgram.next(&ctx()), Action::Done);
+    }
+
+    #[test]
+    fn script_program_replays_then_finishes() {
+        let mut p = ScriptProgram::new(vec![
+            Action::Compute(SimTime::from_micros(1)),
+            Action::Barrier,
+        ]);
+        assert_eq!(p.next(&ctx()), Action::Compute(SimTime::from_micros(1)));
+        assert_eq!(p.next(&ctx()), Action::Barrier);
+        assert_eq!(p.next(&ctx()), Action::Done);
+        assert_eq!(p.next(&ctx()), Action::Done);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation — request-buffer provisioning (`M`, the credits per sender).
+//!
+//! The paper fixes M = 4 (and reports memory as `N × B × M`). This study
+//! varies M under the 20 % fetch-&-add hot spot: more credits deepen the
+//! in-flight queue at the hot node (worse latency for everyone) but help
+//! pipelining of the no-contention case; fewer credits throttle senders.
+//! It quantifies the memory/latency trade-off the paper's design implies:
+//! with virtual topologies the *same* M costs `O(√N)` instead of `O(N)`
+//! memory.
+
+use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
+use vt_apps::{run_parallel, Panel, Series, Table};
+use vt_bench::{emit, parse_opts};
+use vt_core::TopologyKind;
+
+fn main() {
+    let opts = parse_opts();
+    let stride = if opts.quick { 32 } else { 8 };
+    let credits = [1u32, 2, 4, 8];
+    let scenarios = [Scenario::NoContention, Scenario::pct20()];
+    let topologies = [TopologyKind::Fcg, TopologyKind::Mfcg];
+
+    let mut jobs: Vec<(TopologyKind, Scenario, u32)> = Vec::new();
+    for t in topologies {
+        for s in scenarios {
+            for &m in &credits {
+                jobs.push((t, s, m));
+            }
+        }
+    }
+    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(topology, scenario, m)| {
+        let cfg = ContentionConfig {
+            measure_stride: stride,
+            buffers_per_proc: Some(m),
+            pipelined_contenders: true,
+            ..ContentionConfig::paper(topology, OpSpec::fetch_add(), scenario)
+        };
+        run(&cfg)
+    });
+
+    let mut out = String::new();
+    for scenario in scenarios {
+        let mut panel = Panel::new(
+            format!(
+                "Ablation: buffers per sender (M) under {} (fetch-&-add)",
+                scenario.label()
+            ),
+            "M (credits per sender)",
+            "mean time (usec)",
+        );
+        for topology in topologies {
+            let points = jobs
+                .iter()
+                .zip(&outcomes)
+                .filter(|((t, s, _), _)| *t == topology && *s == scenario)
+                .map(|(&(_, _, m), o)| (f64::from(m), o.mean_us()))
+                .collect();
+            panel.series.push(Series::new(topology.name(), points));
+        }
+        out.push_str(&panel.render());
+        out.push('\n');
+    }
+
+    let mut table = Table::new(&["topology", "scenario", "M", "mean us", "median us"]);
+    for ((topology, scenario, m), o) in jobs.iter().zip(&outcomes) {
+        table.row(&[
+            topology.name().to_string(),
+            scenario.label(),
+            m.to_string(),
+            format!("{:.1}", o.mean_us()),
+            format!("{:.1}", o.median_us()),
+        ]);
+    }
+    out.push_str("# All points:\n");
+    out.push_str(&table.render());
+    emit(&opts, "ablation_buffers", &out);
+}

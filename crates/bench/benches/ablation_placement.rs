@@ -1,0 +1,64 @@
+//! Ablation — physical placement and the rank-distance latency slope.
+//!
+//! The paper observes (Figs. 6a/7a) that even under FCG — where every rank
+//! is one virtual hop from rank 0 — completion time grows with rank, and
+//! attributes it to physical distance in the underlying torus. This study
+//! isolates that claim: with *linear* placement the slope is present; with
+//! *random* placement (no rank/distance correlation) it vanishes; a
+//! *strided* scatter sits in between.
+
+use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
+use vt_apps::{run_parallel, Panel};
+use vt_bench::{emit, parse_opts};
+use vt_core::TopologyKind;
+use vt_simnet::Placement;
+
+fn main() {
+    let opts = parse_opts();
+    let stride = if opts.quick { 16 } else { 4 };
+    let placements = [
+        ("linear", Placement::Linear),
+        ("strided", Placement::Strided { stride: 97 }),
+        ("random", Placement::Random { seed: 42 }),
+    ];
+
+    let jobs: Vec<(&'static str, Placement)> = placements.to_vec();
+    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(_, placement)| {
+        let cfg = ContentionConfig {
+            measure_stride: stride,
+            placement: Some(placement),
+            ..ContentionConfig::paper(
+                TopologyKind::Fcg,
+                OpSpec::fetch_add(),
+                Scenario::NoContention,
+            )
+        };
+        run(&cfg)
+    });
+
+    let mut panel = Panel::new(
+        "Ablation: node placement vs rank-latency slope (FCG, no contention)",
+        "process rank",
+        "time (usec)",
+    );
+    for ((name, _), o) in jobs.iter().zip(&outcomes) {
+        panel.series.push(o.series(*name));
+    }
+    let mut out = panel.render();
+
+    // Quantify the slope: mean over the first vs last eighth of ranks.
+    out.push_str("\n# Slope summary (mean of first vs last eighth of measured ranks):\n");
+    for ((name, _), o) in jobs.iter().zip(&outcomes) {
+        let n = o.points.len();
+        let eighth = (n / 8).max(1);
+        let head: f64 =
+            o.points[..eighth].iter().map(|&(_, y)| y).sum::<f64>() / eighth as f64;
+        let tail: f64 = o.points[n - eighth..].iter().map(|&(_, y)| y).sum::<f64>()
+            / eighth as f64;
+        out.push_str(&format!(
+            "#   {name:8} head {head:>8.1} us   tail {tail:>8.1} us   ratio {:.2}\n",
+            tail / head
+        ));
+    }
+    emit(&opts, "ablation_placement", &out);
+}

@@ -1,0 +1,85 @@
+//! Figure 5 — scalability of virtual topologies for memory management.
+//!
+//! Paper setup (§V-A): 12 processes per node, 16-KiB buffers, 4 buffers per
+//! process; the master process's VmRSS is reported while the process count
+//! grows to 12 288. Expected shape: FCG grows linearly (+812 MB at 12 288
+//! processes over the ~612 MB base); MFCG, CFCG and Hypercube cut the
+//! increment by roughly one and two orders of magnitude, in that order.
+
+use vt_apps::{Panel, Series, Table};
+use vt_bench::{emit, mib, parse_opts};
+use vt_core::{MemoryModel, TopologyKind};
+
+fn main() {
+    let opts = parse_opts();
+    let model = MemoryModel::default(); // 12 ppn, B = 16 KiB, M = 4
+    let proc_counts: Vec<u32> = if opts.quick {
+        vec![768, 1536, 3072, 6144, 12288]
+    } else {
+        (1..=16).map(|k| k * 768).collect()
+    };
+
+    let mut panel = Panel::new(
+        "Figure 5: Scalability of Virtual Topologies for Memory Management",
+        "processes",
+        "master VmRSS (MBytes)",
+    );
+    let mut increments_at_max = Vec::new();
+
+    for kind in TopologyKind::ALL {
+        let mut points = Vec::new();
+        for &procs in &proc_counts {
+            let nodes = procs / model.procs_per_node;
+            let nodes = if kind == TopologyKind::Hypercube {
+                nodes.next_power_of_two() / if nodes.is_power_of_two() { 1 } else { 2 }
+            } else {
+                nodes
+            };
+            let topo = kind.build(nodes.max(1));
+            let vmrss = model.master_vmrss_bytes(&topo, 0);
+            points.push((f64::from(procs), vmrss as f64 / (1024.0 * 1024.0)));
+            if procs == *proc_counts.last().unwrap() {
+                increments_at_max.push((kind, model.increment_bytes(&topo, 0)));
+            }
+        }
+        panel.series.push(Series::new(kind.name(), points));
+    }
+
+    let mut out = panel.render();
+
+    // The paper's headline ratios: increment reduction vs FCG at max scale.
+    let fcg_inc = increments_at_max
+        .iter()
+        .find(|(k, _)| *k == TopologyKind::Fcg)
+        .map(|&(_, inc)| inc)
+        .expect("FCG measured");
+    let mut table = Table::new(&[
+        "topology",
+        "VmRSS increment (MB)",
+        "reduction vs FCG",
+        "paper reduction",
+    ]);
+    let paper = [
+        (TopologyKind::Fcg, "1.0x"),
+        (TopologyKind::Mfcg, "7.5x"),
+        (TopologyKind::Cfcg, "16.6x"),
+        (TopologyKind::Hypercube, "45x"),
+    ];
+    for &(kind, inc) in &increments_at_max {
+        let paper_red = paper
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, s)| s)
+            .unwrap_or("-");
+        table.row(&[
+            kind.name().to_string(),
+            mib(inc),
+            format!("{:.1}x", fcg_inc as f64 / inc as f64),
+            paper_red.to_string(),
+        ]);
+    }
+    out.push_str("\n# Increment reduction at max scale (paper Fig. 5 discussion):\n");
+    out.push_str(&table.render());
+
+    emit(&opts, "fig5_memory", &out);
+}

@@ -1,0 +1,71 @@
+//! Figure 8 — the performance of NAS LU.
+//!
+//! Paper setup (§VI-A): the ARMCI port of NAS LU, strong-scaled over
+//! 192–1 536 processes, under all four virtual topologies. Expected shape:
+//! execution time falls with process count; all four topologies are
+//! comparable (LU has no hot spot), with the leaner virtual topologies
+//! slightly ahead of FCG, more visibly at lower process counts.
+
+use vt_apps::lu::{run, LuConfig};
+use vt_apps::{run_parallel, Panel, Series, Table};
+use vt_bench::{emit, parse_opts};
+use vt_core::TopologyKind;
+
+fn main() {
+    let opts = parse_opts();
+    let proc_counts = [192u32, 384, 768, 1536];
+    let iterations = if opts.quick { 50 } else { 250 };
+
+    let jobs: Vec<(TopologyKind, u32)> = TopologyKind::ALL
+        .into_iter()
+        .flat_map(|t| proc_counts.iter().map(move |&p| (t, p)))
+        .collect();
+    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(topology, procs)| {
+        let cfg = LuConfig {
+            iterations,
+            ..LuConfig::class_c(procs, topology)
+        };
+        run(&cfg)
+    });
+
+    let mut panel = Panel::new(
+        format!("Figure 8: The Performance of NAS LU ({iterations} time steps)"),
+        "processes",
+        "execution time (sec)",
+    );
+    for kind in TopologyKind::ALL {
+        let points = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter(|((t, _), _)| *t == kind)
+            .map(|(&(_, p), o)| (f64::from(p), o.exec_seconds))
+            .collect();
+        panel.series.push(Series::new(kind.name(), points));
+    }
+    let mut out = panel.render();
+
+    let mut table = Table::new(&["procs", "topology", "exec (s)", "vs FCG", "fwd frac"]);
+    for &procs in &proc_counts {
+        let fcg = jobs
+            .iter()
+            .zip(&outcomes)
+            .find(|((t, p), _)| *t == TopologyKind::Fcg && *p == procs)
+            .map(|(_, o)| o.exec_seconds)
+            .expect("FCG run present");
+        for ((topology, p), o) in jobs.iter().zip(&outcomes) {
+            if *p != procs {
+                continue;
+            }
+            table.row(&[
+                procs.to_string(),
+                topology.name().to_string(),
+                format!("{:.1}", o.exec_seconds),
+                format!("{:+.2}%", (o.exec_seconds / fcg - 1.0) * 100.0),
+                format!("{:.3}", o.forward_fraction),
+            ]);
+        }
+    }
+    out.push_str("\n# Per-configuration comparison:\n");
+    out.push_str(&table.render());
+    emit(&opts, "fig8_nas_lu", &out);
+}

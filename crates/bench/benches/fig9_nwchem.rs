@@ -1,0 +1,135 @@
+//! Figure 9 — NWChem execution time under virtual topologies.
+//!
+//! * Panel (a): the DFT SiOSi3 method (§VI-B, Fig. 9a). The `nxtval`
+//!   dynamic-load-balancing counter is a hot spot; at rising core counts
+//!   FCG's latency collapse throttles task dispatch. Expected: MFCG clearly
+//!   fastest at scale (the paper reports up to 48 % total-time reduction),
+//!   CFCG between, Hypercube *worse* than FCG because of its forwarding
+//!   depth.
+//! * Panel (b): the CCSD(T) water model (Fig. 9b). No hot spot —
+//!   FCG ≥ MFCG until FCG's O(N) buffer pools push node memory past its
+//!   budget, where paging flips the ranking (the paper's 10 000-core
+//!   crossover; see EXPERIMENTS.md for the deviation discussion).
+
+use vt_apps::nwchem_ccsd::{self, CcsdConfig};
+use vt_apps::nwchem_dft::{self, DftConfig};
+use vt_apps::{run_parallel, Panel, Series, Table};
+use vt_bench::{emit, parse_opts};
+use vt_core::TopologyKind;
+
+fn main() {
+    let opts = parse_opts();
+    let mut out = String::new();
+    dft_panel(&opts, &mut out);
+    ccsd_panel(&opts, &mut out);
+    emit(&opts, "fig9_nwchem", &out);
+}
+
+fn dft_panel(opts: &vt_bench::HarnessOpts, out: &mut String) {
+    // 12 ppn; node counts are powers of two so the Hypercube is buildable.
+    let core_counts = [1536u32, 3072, 6144, 12288];
+    let task_scale = if opts.quick { 8 } else { 1 };
+
+    let jobs: Vec<(TopologyKind, u32)> = TopologyKind::ALL
+        .into_iter()
+        .flat_map(|t| core_counts.iter().map(move |&c| (t, c)))
+        .collect();
+    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(topology, cores)| {
+        let mut cfg = DftConfig::siosi3(cores, topology);
+        cfg.total_tasks /= task_scale;
+        nwchem_dft::run(&cfg)
+    });
+
+    let mut panel = Panel::new(
+        "Figure 9(a): NWChem DFT SiOSi3",
+        "cores",
+        "total execution time (sec)",
+    );
+    for kind in TopologyKind::ALL {
+        let points = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter(|((t, _), _)| *t == kind)
+            .map(|(&(_, c), o)| (f64::from(c), o.exec_seconds))
+            .collect();
+        panel.series.push(Series::new(kind.name(), points));
+    }
+    out.push_str(&panel.render());
+
+    let mut table = Table::new(&["cores", "topology", "exec (s)", "vs FCG", "stream-misses"]);
+    for &cores in &core_counts {
+        let fcg = jobs
+            .iter()
+            .zip(&outcomes)
+            .find(|((t, c), _)| *t == TopologyKind::Fcg && *c == cores)
+            .map(|(_, o)| o.exec_seconds)
+            .expect("FCG run present");
+        for ((topology, c), o) in jobs.iter().zip(&outcomes) {
+            if *c != cores {
+                continue;
+            }
+            table.row(&[
+                cores.to_string(),
+                topology.name().to_string(),
+                format!("{:.1}", o.exec_seconds),
+                format!("{:+.1}%", (o.exec_seconds / fcg - 1.0) * 100.0),
+                o.stream_misses.to_string(),
+            ]);
+        }
+    }
+    out.push_str("\n# DFT per-configuration comparison:\n");
+    out.push_str(&table.render());
+    out.push('\n');
+}
+
+fn ccsd_panel(opts: &vt_bench::HarnessOpts, out: &mut String) {
+    let core_counts = [2004u32, 4008, 9996, 14004, 20004];
+    let work_scale = if opts.quick { 8.0 } else { 1.0 };
+
+    let topologies = [TopologyKind::Fcg, TopologyKind::Mfcg];
+    let jobs: Vec<(TopologyKind, u32)> = topologies
+        .into_iter()
+        .flat_map(|t| core_counts.iter().map(move |&c| (t, c)))
+        .collect();
+    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(topology, cores)| {
+        let mut cfg = CcsdConfig::water(cores, topology);
+        cfg.serial_seconds /= work_scale;
+        cfg.fixed_seconds_per_proc /= work_scale;
+        nwchem_ccsd::run(&cfg)
+    });
+
+    let mut panel = Panel::new(
+        "Figure 9(b): NWChem CCSD(T) (H2O)11 Water Model",
+        "cores",
+        "total execution time (sec)",
+    );
+    for kind in topologies {
+        let points = jobs
+            .iter()
+            .zip(&outcomes)
+            .filter(|((t, _), _)| *t == kind)
+            .map(|(&(_, c), o)| (f64::from(c), o.exec_seconds))
+            .collect();
+        panel.series.push(Series::new(kind.name(), points));
+    }
+    out.push_str(&panel.render());
+
+    let mut table = Table::new(&[
+        "cores",
+        "topology",
+        "exec (s)",
+        "paging factor",
+        "node mem (GiB)",
+    ]);
+    for ((topology, cores), o) in jobs.iter().zip(&outcomes) {
+        table.row(&[
+            cores.to_string(),
+            topology.name().to_string(),
+            format!("{:.1}", o.exec_seconds),
+            format!("{:.2}", o.paging_factor),
+            format!("{:.2}", o.node_mem_used as f64 / (1u64 << 30) as f64),
+        ]);
+    }
+    out.push_str("\n# CCSD per-configuration comparison:\n");
+    out.push_str(&table.render());
+}

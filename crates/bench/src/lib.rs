@@ -1,0 +1,115 @@
+//! # vt-bench — harness utilities for the figure benchmarks
+//!
+//! Each `benches/figN_*.rs` target regenerates one figure of the paper's
+//! evaluation as gnuplot-ready text. They run under `cargo bench` with
+//! `harness = false`; this module provides argument handling and output
+//! plumbing shared by all of them.
+//!
+//! Flags (pass after `--`, e.g. `cargo bench --bench fig5_memory -- --full`):
+//!
+//! * `--quick` — reduced resolution / iteration counts (the default, so a
+//!   plain `cargo bench --workspace` finishes in minutes);
+//! * `--full`  — the paper's full parameters;
+//! * `--threads N` — worker threads for the parallel sweep (default: all).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+use std::fs;
+use std::path::PathBuf;
+
+/// Options common to all figure harnesses.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Reduced-cost mode (default true).
+    pub quick: bool,
+    /// Worker threads for independent simulations (0 = all CPUs).
+    pub threads: usize,
+    /// Directory where rendered figures are also written as text files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            quick: true,
+            threads: 0,
+            out_dir: PathBuf::from("target/figures"),
+        }
+    }
+}
+
+/// Parses harness options from the process arguments, ignoring anything the
+/// cargo bench driver passes that we don't know (e.g. `--bench`).
+pub fn parse_opts() -> HarnessOpts {
+    let mut opts = HarnessOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.quick = false,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--out-dir" => {
+                opts.out_dir = PathBuf::from(args.next().expect("--out-dir needs a path"));
+            }
+            _ => {} // tolerate cargo-bench driver flags
+        }
+    }
+    opts
+}
+
+/// Prints a rendered figure to stdout and saves it under the output
+/// directory as `<name>.txt`.
+pub fn emit(opts: &HarnessOpts, name: &str, content: &str) {
+    println!("{content}");
+    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+        return;
+    }
+    let path = opts.out_dir.join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// Formats a mebibyte value with one decimal.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = HarnessOpts::default();
+        assert!(o.quick);
+        assert_eq!(o.threads, 0);
+    }
+
+    #[test]
+    fn mib_formats() {
+        assert_eq!(mib(1024 * 1024), "1.0");
+        assert_eq!(mib(1536 * 1024), "1.5");
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join(format!("vtbench-test-{}", std::process::id()));
+        let opts = HarnessOpts {
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        emit(&opts, "probe", "hello");
+        let read = std::fs::read_to_string(dir.join("probe.txt")).unwrap();
+        assert_eq!(read, "hello");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

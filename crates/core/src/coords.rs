@@ -1,0 +1,183 @@
+//! Fixed-capacity multi-dimensional coordinates.
+//!
+//! A [`Coord`] locates a node inside a [`Shape`](crate::Shape): dimension 0 is
+//! the *lowest* dimension and varies fastest in the node-id encoding, matching
+//! the paper's lowest-dimension-first packing of partially populated
+//! topologies.
+
+use std::fmt;
+
+/// Maximum number of dimensions a topology may have.
+///
+/// A hypercube over `u32` node ids needs at most 32 binary dimensions; the
+/// meshes and cubes of the paper use 2 and 3.
+pub const MAX_DIMS: usize = 32;
+
+/// A point in a multi-dimensional grid, stored inline (no heap allocation) so
+/// routing decisions stay allocation-free on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    len: u8,
+    vals: [u32; MAX_DIMS],
+}
+
+impl Coord {
+    /// Builds a coordinate from a slice of per-dimension values.
+    ///
+    /// # Panics
+    /// Panics if `vals` is empty or longer than [`MAX_DIMS`].
+    pub fn new(vals: &[u32]) -> Self {
+        assert!(
+            !vals.is_empty() && vals.len() <= MAX_DIMS,
+            "coordinate must have between 1 and {MAX_DIMS} dimensions, got {}",
+            vals.len()
+        );
+        let mut c = Coord {
+            len: vals.len() as u8,
+            vals: [0; MAX_DIMS],
+        };
+        c.vals[..vals.len()].copy_from_slice(vals);
+        c
+    }
+
+    /// Builds the all-zero coordinate with `ndims` dimensions.
+    pub fn zero(ndims: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&ndims));
+        Coord {
+            len: ndims as u8,
+            vals: [0; MAX_DIMS],
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Value along dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= self.ndims()`.
+    #[inline]
+    pub fn get(&self, dim: usize) -> u32 {
+        assert!(dim < self.ndims(), "dimension {dim} out of range");
+        self.vals[dim]
+    }
+
+    /// Sets the value along dimension `dim`.
+    #[inline]
+    pub fn set(&mut self, dim: usize, val: u32) {
+        assert!(dim < self.ndims(), "dimension {dim} out of range");
+        self.vals[dim] = val;
+    }
+
+    /// The coordinate values as a slice, lowest dimension first.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Number of dimensions along which `self` and `other` differ.
+    ///
+    /// Two nodes are directly connected in MFCG/CFCG/Hypercube exactly when
+    /// this distance is 1 (they share all other offsets).
+    pub fn differing_dims(&self, other: &Coord) -> usize {
+        assert_eq!(self.ndims(), other.ndims(), "dimension mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Lowest dimension along which `self` and `other` differ, if any.
+    pub fn lowest_differing_dim(&self, other: &Coord) -> Option<usize> {
+        assert_eq!(self.ndims(), other.ndims(), "dimension mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .position(|(a, b)| a != b)
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coord{:?}", self.as_slice())
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_roundtrips_values() {
+        let c = Coord::new(&[3, 1, 4]);
+        assert_eq!(c.ndims(), 3);
+        assert_eq!(c.as_slice(), &[3, 1, 4]);
+        assert_eq!(c.get(0), 3);
+        assert_eq!(c.get(2), 4);
+    }
+
+    #[test]
+    fn set_updates_single_dimension() {
+        let mut c = Coord::new(&[0, 0]);
+        c.set(1, 7);
+        assert_eq!(c.as_slice(), &[0, 7]);
+    }
+
+    #[test]
+    fn zero_has_all_zero_values() {
+        let c = Coord::zero(4);
+        assert_eq!(c.as_slice(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn differing_dims_counts_mismatches() {
+        let a = Coord::new(&[1, 2, 3]);
+        let b = Coord::new(&[1, 5, 4]);
+        assert_eq!(a.differing_dims(&b), 2);
+        assert_eq!(a.differing_dims(&a), 0);
+    }
+
+    #[test]
+    fn lowest_differing_dim_is_first_mismatch() {
+        let a = Coord::new(&[1, 2, 3]);
+        let b = Coord::new(&[1, 5, 4]);
+        assert_eq!(a.lowest_differing_dim(&b), Some(1));
+        assert_eq!(a.lowest_differing_dim(&a), None);
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let c = Coord::new(&[2, 0, 1]);
+        assert_eq!(c.to_string(), "(2,0,1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let c = Coord::new(&[1]);
+        c.get(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and")]
+    fn empty_coord_panics() {
+        Coord::new(&[]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Graphviz DOT export for topologies and request-path trees.
+//!
+//! Renders the paper's illustrations from live data structures: Fig. 1/3
+//! (the resource-allocation graph of a topology) via [`topology_dot`], and
+//! Fig. 2/4 (the tree of request paths into a hot node) via [`tree_dot`].
+//! Feed the output to `dot -Tsvg`.
+
+use crate::topology::{NodeId, VirtualTopology};
+use crate::tree::RequestTree;
+use std::fmt::Write as _;
+
+/// Renders the buffer-allocation graph as DOT.
+///
+/// Undirected rendering (one edge per symmetric pair): all four paper
+/// topologies allocate buffers symmetrically, and Fig. 3 draws them as
+/// plain edges.
+pub fn topology_dot(topo: &dyn VirtualTopology) -> String {
+    let n = topo.num_nodes();
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", topo.kind().name());
+    let _ = writeln!(out, "  layout=neato; node [shape=circle];");
+    for v in 0..n {
+        let c = topo.coord_of(v);
+        let _ = writeln!(out, "  n{v} [label=\"{v}\", tooltip=\"{c}\"];");
+    }
+    for v in 0..n {
+        for w in topo.out_neighbors(v) {
+            if v < w {
+                let _ = writeln!(out, "  n{v} -- n{w};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the tree of LDF request paths into `root` as DOT (the paper's
+/// Figs. 2 and 4), edges pointing towards the root.
+pub fn tree_dot(topo: &dyn VirtualTopology, root: NodeId) -> String {
+    let tree = RequestTree::build(topo, root);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {}_tree {{", topo.kind().name());
+    let _ = writeln!(out, "  rankdir=BT; node [shape=circle];");
+    let _ = writeln!(out, "  n{root} [style=filled, fillcolor=lightgray];");
+    for v in 0..topo.num_nodes() {
+        if v != root {
+            let _ = writeln!(out, "  n{v} -> n{};", tree.parent(v));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+
+    #[test]
+    fn topology_dot_emits_every_edge_once() {
+        let t = TopologyKind::Mfcg.build(9);
+        let dot = topology_dot(&t);
+        assert!(dot.starts_with("graph mfcg {"));
+        // 9 nodes, 4 undirected edges each / 2 = 18 edge lines.
+        assert_eq!(dot.matches(" -- ").count(), 18);
+        assert_eq!(dot.matches("[label=").count(), 9);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tree_dot_has_one_arc_per_non_root() {
+        let t = TopologyKind::Cfcg.build(27);
+        let dot = tree_dot(&t, 0);
+        assert!(dot.starts_with("digraph cfcg_tree {"));
+        assert_eq!(dot.matches(" -> ").count(), 26);
+        assert!(dot.contains("n0 [style=filled"));
+    }
+
+    #[test]
+    fn fcg_tree_is_a_star() {
+        let t = TopologyKind::Fcg.build(6);
+        let dot = tree_dot(&t, 2);
+        // Every non-root points straight at the root.
+        for v in [0u32, 1, 3, 4, 5] {
+            assert!(dot.contains(&format!("n{v} -> n2;")));
+        }
+    }
+
+    #[test]
+    fn dot_handles_single_node() {
+        let t = TopologyKind::Fcg.build(1);
+        assert_eq!(topology_dot(&t).matches(" -- ").count(), 0);
+        assert_eq!(tree_dot(&t, 0).matches(" -> ").count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Lowest-dimension-first (LDF) forwarding.
+//!
+//! LDF is the paper's deadlock-free request-forwarding order (§IV,
+//! Algorithm 1): to route from `S` to `T` on a `k`-dimensional topology,
+//! always fix the **lowest** dimension on which the current node and the
+//! destination differ. Because the dimension order is monotone along a path,
+//! the buffer-dependency graph between virtual channels is acyclic, which
+//! rules out deadlock (the classic dimension-order argument of Dally &
+//! Seitz, specialised to buffer credits instead of wormhole channels).
+//!
+//! **Extension to any node count (§IV-B).** Nodes are packed in
+//! lowest-dimension-first order, so only the top of the highest dimension is
+//! incomplete. The extended algorithm adds one guard: a hop is taken only if
+//! the resulting node id exists (`D ≤ M`, i.e. `D < n` with 0-based ids);
+//! otherwise the scan continues with the next higher dimension and the
+//! skipped dimension is corrected later, after the route has left the partial
+//! top slice. Two facts make this safe:
+//!
+//! * **Termination / progress** — every hop permanently fixes one coordinate
+//!   to the destination's value, so a route takes at most `k` hops.
+//! * **Existence** — a legal hop always exists. By induction on `k`: if the
+//!   destination's highest coordinate differs it is reachable (moving the
+//!   highest coordinate of `S` towards `T`'s never leaves the population,
+//!   because `T < n` and complete slices are below); if it is equal, the
+//!   problem reduces to the same question one dimension down inside that
+//!   slice, whose population is again packed lowest-dimension-first.
+//!
+//! Deadlock freedom of the extended order is additionally *checked* (not
+//! assumed) by the dependency-graph cycle tests in [`crate::graph`].
+
+use crate::shape::Shape;
+
+/// The next node on the LDF route from `current` to `dest` in a topology of
+/// `shape` populated by nodes `0..n`, or `None` when `current == dest`.
+///
+/// # Panics
+/// Panics if `current` or `dest` is `>= n`, or if `n` exceeds the shape's
+/// capacity.
+pub fn next_hop(shape: &Shape, n: u32, current: u32, dest: u32) -> Option<u32> {
+    assert!(u64::from(n) <= shape.capacity(), "population exceeds shape");
+    assert!(current < n, "current node {current} out of range (n = {n})");
+    assert!(dest < n, "destination node {dest} out of range (n = {n})");
+    if current == dest {
+        return None;
+    }
+    let s = shape.coord_of(current);
+    let t = shape.coord_of(dest);
+    for dim in 0..shape.ndims() {
+        if s.get(dim) != t.get(dim) {
+            let mut d = s;
+            d.set(dim, t.get(dim));
+            let id = shape.id_of(&d);
+            if id < n {
+                return Some(id);
+            }
+            // Extended LDF: the natural hop would leave the population
+            // (possible only inside the partial top slice); defer this
+            // dimension and try the next higher one.
+        }
+    }
+    unreachable!(
+        "extended LDF invariant violated: no legal hop from {current} to {dest} \
+         on shape {:?} with n = {n}",
+        shape.dims()
+    );
+}
+
+/// The full LDF route from `src` to `dest`: every intermediate node followed
+/// by `dest` itself. Empty when `src == dest`.
+///
+/// The route's length is the number of *messages* sent; the number of
+/// *forwarding* steps is `route.len() - 1`.
+pub fn route(shape: &Shape, n: u32, src: u32, dest: u32) -> Vec<u32> {
+    let mut hops = Vec::with_capacity(shape.ndims());
+    let mut cur = src;
+    while let Some(next) = next_hop(shape, n, cur, dest) {
+        hops.push(next);
+        cur = next;
+        assert!(
+            hops.len() <= shape.ndims(),
+            "LDF route from {src} to {dest} exceeded {} hops",
+            shape.ndims()
+        );
+    }
+    hops
+}
+
+/// Number of hops (messages) on the LDF route without materialising it.
+pub fn hop_count(shape: &Shape, n: u32, src: u32, dest: u32) -> u32 {
+    let mut hops = 0;
+    let mut cur = src;
+    while let Some(next) = next_hop(shape, n, cur, dest) {
+        hops += 1;
+        cur = next;
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_routes_nowhere() {
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(next_hop(&s, 9, 4, 4), None);
+        assert!(route(&s, 9, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn full_mesh_fixes_lowest_dimension_first() {
+        // 3x3 mesh, node 8 = (2,2) -> node 0 = (0,0):
+        // first fix X (hop to (0,2) = 6), then Y (hop to (0,0) = 0).
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(route(&s, 9, 8, 0), vec![6, 0]);
+    }
+
+    #[test]
+    fn one_dimensional_shape_is_direct() {
+        // FCG: a single dimension, always one hop.
+        let s = Shape::line_for(16);
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src != dst {
+                    assert_eq!(route(&s, 16, src, dst), vec![dst]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_flips_lowest_bit_first() {
+        // 16-node hypercube: 15 = 1111 -> 0 goes 1111,1110,1100,1000,0000.
+        let s = Shape::hypercube_for(16).unwrap();
+        assert_eq!(route(&s, 16, 15, 0), vec![14, 12, 8, 0]);
+    }
+
+    #[test]
+    fn partial_mesh_skips_missing_node() {
+        // 3x3 shape, 8 nodes (node 8 missing). From 7 = (1,2) to 2 = (2,0):
+        // the X-first hop would be (2,2) = 8 which does not exist, so LDF
+        // defers X, hops Y to (1,0) = 1, then X to (2,0) = 2.
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(route(&s, 8, 7, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn partial_mesh_direct_within_top_row() {
+        // 3x3 shape, 8 nodes. 7 = (1,2) and 6 = (0,2) share the top row.
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(route(&s, 8, 7, 6), vec![6]);
+    }
+
+    #[test]
+    fn every_pair_routes_within_ndims_hops() {
+        for n in 1..=40u32 {
+            for shape in [Shape::mesh_for(n), Shape::cube_for(n)] {
+                for src in 0..n {
+                    for dst in 0..n {
+                        let r = route(&shape, n, src, dst);
+                        assert!(r.len() <= shape.ndims());
+                        if src != dst {
+                            assert_eq!(*r.last().unwrap(), dst);
+                        }
+                        assert_eq!(hop_count(&shape, n, src, dst) as usize, r.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_follow_single_dimension_changes() {
+        // Every hop on a route must change exactly one coordinate, i.e. use a
+        // real topology edge.
+        let n = 23;
+        let shape = Shape::cube_for(n);
+        for src in 0..n {
+            for dst in 0..n {
+                let mut cur = src;
+                for &hop in &route(&shape, n, src, dst) {
+                    let a = shape.coord_of(cur);
+                    let b = shape.coord_of(hop);
+                    assert_eq!(a.differing_dims(&b), 1, "{cur} -> {hop} not an edge");
+                    cur = hop;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn next_hop_rejects_missing_nodes() {
+        let s = Shape::new(vec![3, 3]);
+        next_hop(&s, 8, 8, 0);
+    }
+}

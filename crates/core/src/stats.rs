@@ -1,0 +1,140 @@
+//! Aggregate structural statistics of a virtual topology.
+//!
+//! These quantify the §III trade-off table directly: edge count (buffer
+//! memory), route lengths (forwarding latency) and the hot-spot fan-in
+//! (contention attenuation), all from the same `VirtualTopology` the runtime
+//! uses.
+
+use crate::topology::{NodeId, VirtualTopology};
+use crate::tree::RequestTree;
+
+/// Structural summary of one topology instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyStats {
+    /// Populated nodes.
+    pub nodes: u32,
+    /// Total directed edges (buffer-allocation relationships).
+    pub edges: u64,
+    /// Largest out-degree over all nodes.
+    pub max_degree: usize,
+    /// Mean hops of an LDF route over all ordered pairs.
+    pub avg_route_hops: f64,
+    /// Largest hop count over all ordered pairs (the virtual diameter).
+    pub max_route_hops: u32,
+    /// Direct fan-in at node 0's request tree (the contention metric).
+    pub root_fan_in: usize,
+}
+
+/// Computes the summary by enumerating all pairs — O(n² · k), intended for
+/// analysis and reports, not hot paths.
+pub fn analyze(topo: &dyn VirtualTopology) -> TopologyStats {
+    let n = topo.num_nodes();
+    let mut edges = 0u64;
+    let mut max_degree = 0usize;
+    for v in 0..n {
+        let d = topo.out_degree(v);
+        edges += d as u64;
+        max_degree = max_degree.max(d);
+    }
+    let mut total_hops = 0u64;
+    let mut max_hops = 0u32;
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let mut cur = src;
+            let mut hops = 0u32;
+            while let Some(next) = topo.next_hop(cur, dst) {
+                cur = next;
+                hops += 1;
+            }
+            total_hops += u64::from(hops);
+            max_hops = max_hops.max(hops);
+        }
+    }
+    let pairs = u64::from(n) * u64::from(n.saturating_sub(1));
+    TopologyStats {
+        nodes: n,
+        edges,
+        max_degree,
+        avg_route_hops: if pairs == 0 {
+            0.0
+        } else {
+            total_hops as f64 / pairs as f64
+        },
+        max_route_hops: max_hops,
+        root_fan_in: RequestTree::build(topo, 0 as NodeId).root_fan_in(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+
+    #[test]
+    fn fcg_stats_are_complete_graph() {
+        let s = analyze(&TopologyKind::Fcg.build(16));
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.edges, 16 * 15);
+        assert_eq!(s.max_degree, 15);
+        assert_eq!(s.avg_route_hops, 1.0);
+        assert_eq!(s.max_route_hops, 1);
+        assert_eq!(s.root_fan_in, 15);
+    }
+
+    #[test]
+    fn mfcg_64_stats() {
+        let s = analyze(&TopologyKind::Mfcg.build(64));
+        assert_eq!(s.edges, 64 * 14); // 8x8 mesh: (8-1)+(8-1) per node
+        assert_eq!(s.max_route_hops, 2);
+        assert!(s.avg_route_hops > 1.0 && s.avg_route_hops < 2.0);
+        assert_eq!(s.root_fan_in, 14);
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        let s = analyze(&TopologyKind::Hypercube.build(64));
+        assert_eq!(s.max_route_hops, 6);
+        assert_eq!(s.max_degree, 6);
+        // Mean Hamming distance over ordered pairs excluding self:
+        // (k/2) * n/(n-1) = 3 * 64/63.
+        assert!((s.avg_route_hops - 3.0 * 64.0 / 63.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trade_off_ordering_across_kinds() {
+        // Fewer edges <-> longer routes: the §III trade-off.
+        let n = 64;
+        let stats: Vec<TopologyStats> = TopologyKind::ALL
+            .iter()
+            .map(|k| analyze(&k.build(n)))
+            .collect();
+        for w in stats.windows(2) {
+            assert!(w[0].edges > w[1].edges, "edge count must fall");
+            assert!(
+                w[0].avg_route_hops < w[1].avg_route_hops,
+                "route length must rise"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_stats_are_zero() {
+        let s = analyze(&TopologyKind::Fcg.build(1));
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.avg_route_hops, 0.0);
+        assert_eq!(s.root_fan_in, 0);
+    }
+
+    #[test]
+    fn partial_population_stats_are_consistent() {
+        let s = analyze(&TopologyKind::Cfcg.build(23));
+        assert!(s.max_route_hops <= 3);
+        let edge_check: u64 = (0..23)
+            .map(|v| TopologyKind::Cfcg.build(23).out_degree(v) as u64)
+            .sum();
+        assert_eq!(s.edges, edge_check);
+    }
+}

@@ -1,0 +1,236 @@
+//! Request-path trees rooted at a hot-spot node.
+//!
+//! For a fixed destination (the contended node), the LDF routes from every
+//! other node form a tree rooted at the destination (paper Figs. 2 and 4):
+//! flat (depth 1) for FCG, height 2 for MFCG, a k-nomial tree of height 3 for
+//! CFCG and a binomial tree of depth `log₂ n` for the hypercube. The tree's
+//! *fan-in* at each vertex is the number of children whose requests funnel
+//! through it — the paper's software-level measure of contention pressure.
+
+use crate::topology::{NodeId, VirtualTopology};
+
+/// The tree of LDF request paths from every node to one root.
+#[derive(Clone, Debug)]
+pub struct RequestTree {
+    root: NodeId,
+    /// `parent[v]` is the next hop of `v` towards the root; the root maps to
+    /// itself.
+    parent: Vec<NodeId>,
+    /// `depth[v]` is the number of hops from `v` to the root.
+    depth: Vec<u32>,
+}
+
+impl RequestTree {
+    /// Builds the request tree of `topo` rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    pub fn build(topo: &dyn VirtualTopology, root: NodeId) -> Self {
+        let n = topo.num_nodes();
+        assert!(root < n, "root {root} out of range (n = {n})");
+        let mut parent = vec![root; n as usize];
+        let mut depth = vec![0u32; n as usize];
+        for v in 0..n {
+            if v == root {
+                continue;
+            }
+            let first = topo
+                .next_hop(v, root)
+                .expect("non-root node must have a hop towards the root");
+            parent[v as usize] = first;
+            depth[v as usize] = 1 + hops_from(topo, first, root);
+        }
+        RequestTree {
+            root,
+            parent,
+            depth,
+        }
+    }
+
+    /// The root (contended) node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree (the whole population).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True only for the degenerate single-node machine.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Parent (next hop towards the root) of `v`; the root returns itself.
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Hop distance from `v` to the root.
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Height of the tree: the maximum hop distance over all nodes.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of direct children of `v` — how many nodes forward straight
+    /// into it.
+    pub fn fan_in(&self, v: NodeId) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p == v && i as u32 != self.root)
+            .count()
+    }
+
+    /// Fan-in at the root: the number of nodes whose requests arrive at the
+    /// contended node *directly*. This is the paper's headline contention
+    /// metric — `n − 1` for FCG, `O(√n)` for MFCG, `O(∛n)` for CFCG and
+    /// `O(log n)` for the hypercube.
+    pub fn root_fan_in(&self) -> usize {
+        self.fan_in(self.root)
+    }
+
+    /// Number of nodes at each depth, index 0 being the root itself.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.height() as usize + 1];
+        for &d in &self.depth {
+            hist[d as usize] += 1;
+        }
+        hist
+    }
+
+    /// Total number of hops summed over all leaf-to-root paths — the total
+    /// message count needed for an all-to-one pattern.
+    pub fn total_hops(&self) -> u64 {
+        self.depth.iter().map(|&d| u64::from(d)).sum()
+    }
+}
+
+fn hops_from(topo: &dyn VirtualTopology, mut cur: NodeId, root: NodeId) -> u32 {
+    let mut hops = 0;
+    while let Some(next) = topo.next_hop(cur, root) {
+        cur = next;
+        hops += 1;
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Cfcg, Fcg, Hypercube, Mfcg, TopologyKind};
+
+    #[test]
+    fn fcg_tree_is_flat() {
+        // Paper Fig. 2: FCG request paths form a flat tree of depth 1.
+        let t = Fcg::new(10);
+        let tree = RequestTree::build(&t, 0);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.root_fan_in(), 9);
+        assert_eq!(tree.depth_histogram(), vec![1, 9]);
+    }
+
+    #[test]
+    fn mfcg_3x3_tree_has_height_2() {
+        // Paper Fig. 4a: 3x3 MFCG tree rooted at node 0 has height 2 and the
+        // root receives directly from its 4 neighbours.
+        let t = Mfcg::new(9);
+        let tree = RequestTree::build(&t, 0);
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.root_fan_in(), 4);
+        // Nodes 4,5,7,8 (not sharing a row/column with 0) are at depth 2.
+        for v in [4u32, 5, 7, 8] {
+            assert_eq!(tree.depth(v), 2);
+        }
+    }
+
+    #[test]
+    fn cfcg_27_tree_is_trinomial_of_height_3() {
+        // Paper Fig. 4b: 3x3x3 CFCG tree rooted at 0 is a trinomial tree of
+        // height 3.
+        let t = Cfcg::new(27);
+        let tree = RequestTree::build(&t, 0);
+        assert_eq!(tree.height(), 3);
+        assert_eq!(tree.root_fan_in(), 6);
+        assert_eq!(tree.depth_histogram(), vec![1, 6, 12, 8]);
+    }
+
+    #[test]
+    fn hypercube_16_tree_is_binomial() {
+        // Paper Fig. 4c: 16-node hypercube tree rooted at 0 is the binomial
+        // tree: C(4, d) nodes at depth d.
+        let t = Hypercube::new(16).unwrap();
+        let tree = RequestTree::build(&t, 0);
+        assert_eq!(tree.height(), 4);
+        assert_eq!(tree.depth_histogram(), vec![1, 4, 6, 4, 1]);
+        assert_eq!(tree.root_fan_in(), 4);
+    }
+
+    #[test]
+    fn parents_follow_next_hop() {
+        for kind in TopologyKind::ALL {
+            let n = 16;
+            let t = kind.build(n);
+            for root in [0u32, 5, 15] {
+                let tree = RequestTree::build(&t, root);
+                for v in 0..n {
+                    if v == root {
+                        assert_eq!(tree.parent(v), root);
+                        assert_eq!(tree.depth(v), 0);
+                    } else {
+                        assert_eq!(Some(tree.parent(v)), t.next_hop(v, root));
+                        assert_eq!(tree.depth(tree.parent(v)), tree.depth(v) - 1);
+                    }
+                }
+                assert_eq!(
+                    tree.total_hops(),
+                    (0..n).map(|v| u64::from(tree.depth(v))).sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_fan_in_scaling_orders() {
+        // The contention-attenuation orders claimed in §III: n-1, O(√n),
+        // O(∛n), O(log n).
+        let n = 4096u32;
+        let fcg = RequestTree::build(&Fcg::new(n), 0).root_fan_in();
+        let mfcg = RequestTree::build(&Mfcg::new(n), 0).root_fan_in();
+        let cfcg = RequestTree::build(&Cfcg::new(n), 0).root_fan_in();
+        let hc = RequestTree::build(&Hypercube::new(n).unwrap(), 0).root_fan_in();
+        assert_eq!(fcg, (n - 1) as usize);
+        assert_eq!(mfcg, 2 * (64 - 1)); // 64x64 mesh
+        assert_eq!(cfcg, 3 * (16 - 1)); // 16x16x16 cube
+        assert_eq!(hc, 12); // log2(4096)
+        assert!(fcg > mfcg && mfcg > cfcg && cfcg > hc);
+    }
+
+    #[test]
+    fn partial_population_tree_reaches_every_node() {
+        for n in [2u32, 7, 11, 13, 30] {
+            for kind in [TopologyKind::Mfcg, TopologyKind::Cfcg] {
+                let t = kind.build(n);
+                for root in 0..n {
+                    let tree = RequestTree::build(&t, root);
+                    assert!(tree.height() <= t.shape().ndims() as u32);
+                    assert_eq!(tree.len(), n as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree_is_empty() {
+        let t = Fcg::new(1);
+        let tree = RequestTree::build(&t, 0);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.root_fan_in(), 0);
+    }
+}

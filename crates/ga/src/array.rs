@@ -1,0 +1,201 @@
+//! The global array descriptor and its patch-to-operation translation.
+//!
+//! This is the layer the paper's Figure 1 sits under: a GA `get` of a patch
+//! becomes one *vectored* one-sided operation per owner block it touches
+//! (the vector segments are the patch's rows inside that block). Vectored
+//! operations take ARMCI's CHT path, which is why GA applications exercise
+//! the virtual topology.
+
+use crate::dist::BlockDist;
+use crate::patch::Patch;
+use serde::{Deserialize, Serialize};
+use vt_armci::{Op, Rank};
+
+/// A dense 2-D array of fixed-size elements, block-distributed over ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalArray {
+    dist: BlockDist,
+    elem_bytes: u64,
+}
+
+impl GlobalArray {
+    /// Creates (the descriptor of) a `rows × cols` array of `elem_bytes`
+    /// elements distributed over `n_procs` ranks.
+    pub fn create(n_procs: u32, rows: u64, cols: u64, elem_bytes: u64) -> Self {
+        assert!(elem_bytes >= 1);
+        GlobalArray {
+            dist: BlockDist::new(n_procs, rows, cols),
+            elem_bytes,
+        }
+    }
+
+    /// The underlying distribution.
+    pub fn dist(&self) -> &BlockDist {
+        &self.dist
+    }
+
+    /// Bytes per element.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// Rank owning element `(r, c)`.
+    pub fn owner_of(&self, r: u64, c: u64) -> Rank {
+        self.dist.owner_of(r, c)
+    }
+
+    /// The patch owned by `rank` (its whole block).
+    pub fn block_of(&self, rank: Rank) -> Patch {
+        let (px, _) = self.dist.grid();
+        let bx = rank.0 % px;
+        let by = rank.0 / px;
+        let (rlo, rhi) = self.dist.row_range(bx);
+        let (clo, chi) = self.dist.col_range(by);
+        Patch::new(rlo, rhi - rlo, clo, chi - clo)
+    }
+
+    /// Decomposes `patch` into `(owner, sub-patch)` pairs covering it.
+    pub fn decompose(&self, patch: Patch) -> Vec<(Rank, Patch)> {
+        assert!(
+            patch.row_end() <= self.dist.rows() && patch.col_end() <= self.dist.cols(),
+            "patch {patch:?} exceeds array {}x{}",
+            self.dist.rows(),
+            self.dist.cols()
+        );
+        let (px, py) = self.dist.grid();
+        let bx0 = self.dist.row_block(patch.row0);
+        let bx1 = self.dist.row_block(patch.row_end() - 1);
+        let by0 = self.dist.col_block(patch.col0);
+        let by1 = self.dist.col_block(patch.col_end() - 1);
+        let mut parts = Vec::new();
+        for by in by0..=by1.min(py - 1) {
+            for bx in bx0..=bx1.min(px - 1) {
+                let (rlo, rhi) = self.dist.row_range(bx);
+                let (clo, chi) = self.dist.col_range(by);
+                if let Some(sub) = patch.intersect(rlo, rhi, clo, chi) {
+                    parts.push((Rank(by * px + bx), sub));
+                }
+            }
+        }
+        parts
+    }
+
+    /// One-sided operations implementing a GA `get` of `patch`: a vectored
+    /// get per owner (segments = patch rows inside the owner's block;
+    /// column-contiguous storage is assumed per block).
+    pub fn get_patch(&self, patch: Patch) -> Vec<Op> {
+        self.patch_ops(patch, |target, segs, seg_bytes| {
+            Op::get_v(target, segs, seg_bytes)
+        })
+    }
+
+    /// One-sided operations implementing a GA `put` of `patch`.
+    pub fn put_patch(&self, patch: Patch) -> Vec<Op> {
+        self.patch_ops(patch, |target, segs, seg_bytes| {
+            Op::put_v(target, segs, seg_bytes)
+        })
+    }
+
+    /// One-sided operations implementing a GA `accumulate` into `patch`.
+    pub fn acc_patch(&self, patch: Patch) -> Vec<Op> {
+        self.patch_ops(patch, |target, segs, seg_bytes| {
+            let mut op = Op::acc(target, u64::from(segs) * seg_bytes);
+            op.segments = segs;
+            op
+        })
+    }
+
+    fn patch_ops<F>(&self, patch: Patch, mk: F) -> Vec<Op>
+    where
+        F: Fn(Rank, u32, u64) -> Op,
+    {
+        self.decompose(patch)
+            .into_iter()
+            .map(|(owner, sub)| {
+                let segs = u32::try_from(sub.rows).expect("patch rows fit u32").max(1);
+                let seg_bytes = sub.cols * self.elem_bytes;
+                mk(owner, segs, seg_bytes)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_armci::OpKind;
+
+    fn ga() -> GlobalArray {
+        GlobalArray::create(16, 1024, 1024, 8)
+    }
+
+    #[test]
+    fn blocks_tile_the_array() {
+        let ga = ga();
+        let mut covered = 0;
+        for rank in 0..16 {
+            covered += ga.block_of(Rank(rank)).elems();
+        }
+        assert_eq!(covered, 1024 * 1024);
+    }
+
+    #[test]
+    fn decompose_covers_patch_exactly() {
+        let ga = ga();
+        let patch = Patch::new(200, 400, 100, 700);
+        let parts = ga.decompose(patch);
+        let total: u64 = parts.iter().map(|(_, p)| p.elems()).sum();
+        assert_eq!(total, patch.elems());
+        // Every sub-patch is fully inside its owner's block.
+        for (owner, sub) in &parts {
+            let block = ga.block_of(*owner);
+            assert_eq!(block.intersect(sub.row0, sub.row_end(), sub.col0, sub.col_end()), Some(*sub));
+        }
+    }
+
+    #[test]
+    fn single_owner_patch_is_one_op() {
+        let ga = ga();
+        // Block (0,0) is rows 0..256, cols 0..256.
+        let ops = ga.get_patch(Patch::new(10, 20, 10, 30));
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::GetV);
+        assert_eq!(ops[0].target, Rank(0));
+        assert_eq!(ops[0].segments, 20);
+        assert_eq!(ops[0].bytes, 20 * 30 * 8);
+    }
+
+    #[test]
+    fn four_corner_patch_hits_four_owners() {
+        let ga = ga();
+        let ops = ga.put_patch(Patch::new(250, 12, 250, 12));
+        assert_eq!(ops.len(), 4);
+        let total: u64 = ops.iter().map(|o| o.bytes).sum();
+        assert_eq!(total, 12 * 12 * 8);
+    }
+
+    #[test]
+    fn acc_patch_builds_accumulates() {
+        let ga = ga();
+        let ops = ga.acc_patch(Patch::new(0, 256, 0, 256));
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::Acc);
+        assert_eq!(ops[0].bytes, 256 * 256 * 8);
+    }
+
+    #[test]
+    fn full_array_patch_touches_every_rank() {
+        let ga = ga();
+        let parts = ga.decompose(Patch::new(0, 1024, 0, 1024));
+        assert_eq!(parts.len(), 16);
+        let mut owners: Vec<u32> = parts.iter().map(|(o, _)| o.0).collect();
+        owners.sort_unstable();
+        assert_eq!(owners, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array")]
+    fn oversized_patch_panics() {
+        ga().decompose(Patch::new(1000, 100, 0, 10));
+    }
+}

@@ -1,0 +1,89 @@
+//! GA call sequences as runtime actions.
+
+use crate::array::GlobalArray;
+use crate::patch::Patch;
+use vt_armci::{Action, Op, Rank, SimTime};
+
+/// One Global Arrays call, expandable into runtime actions.
+#[derive(Clone, Debug)]
+pub enum GaCall {
+    /// `GA_Get` of a patch (blocking at the call level: all per-owner ops
+    /// issue asynchronously, then fence).
+    Get(GlobalArray, Patch),
+    /// `GA_Put` of a patch.
+    Put(GlobalArray, Patch),
+    /// `GA_Acc` into a patch.
+    Acc(GlobalArray, Patch),
+    /// `nxtval` — fetch-&-add 1 on the shared task counter owned by `counter`.
+    NxtVal {
+        /// Rank hosting the counter (GA uses process 0).
+        counter: Rank,
+    },
+    /// Local compute.
+    Compute(SimTime),
+    /// `GA_Sync` — global barrier.
+    Sync,
+}
+
+impl GaCall {
+    /// Expands the call into the actions a rank must perform, in order.
+    pub fn actions(&self) -> Vec<Action> {
+        match self {
+            GaCall::Get(ga, patch) => fenced(ga.get_patch(*patch)),
+            GaCall::Put(ga, patch) => fenced(ga.put_patch(*patch)),
+            GaCall::Acc(ga, patch) => fenced(ga.acc_patch(*patch)),
+            GaCall::NxtVal { counter } => vec![Action::Op(Op::fetch_add(*counter, 1))],
+            GaCall::Compute(d) => vec![Action::Compute(*d)],
+            GaCall::Sync => vec![Action::Barrier],
+        }
+    }
+}
+
+/// Issues all ops asynchronously, then fences — GA patch calls complete as a
+/// unit but their per-owner transfers overlap.
+fn fenced(ops: Vec<Op>) -> Vec<Action> {
+    let mut actions: Vec<Action> = ops.into_iter().map(Action::OpAsync).collect();
+    actions.push(Action::WaitAll);
+    actions
+}
+
+/// Convenience: the `nxtval` call against the conventional counter owner
+/// (rank 0).
+pub fn nxtval() -> GaCall {
+    GaCall::NxtVal { counter: Rank(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_expands_to_async_ops_plus_fence() {
+        let ga = GlobalArray::create(16, 1024, 1024, 8);
+        let call = GaCall::Get(ga, Patch::new(250, 12, 250, 12));
+        let actions = call.actions();
+        assert_eq!(actions.len(), 5); // 4 owners + WaitAll
+        assert!(matches!(actions[0], Action::OpAsync(_)));
+        assert_eq!(actions[4], Action::WaitAll);
+    }
+
+    #[test]
+    fn nxtval_is_a_single_blocking_fadd() {
+        let actions = nxtval().actions();
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::Op(op) => {
+                assert_eq!(op.target, Rank(0));
+                assert_eq!(op.amount, 1);
+            }
+            _ => panic!("expected blocking op"),
+        }
+    }
+
+    #[test]
+    fn sync_and_compute_map_directly() {
+        assert_eq!(GaCall::Sync.actions(), vec![Action::Barrier]);
+        let d = SimTime::from_micros(5);
+        assert_eq!(GaCall::Compute(d).actions(), vec![Action::Compute(d)]);
+    }
+}

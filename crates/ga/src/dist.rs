@@ -1,0 +1,194 @@
+//! Block distribution of a 2-D array over a process grid.
+
+use serde::{Deserialize, Serialize};
+use vt_armci::Rank;
+
+/// A 2-D block distribution: the array is cut into `px × py` rectangular
+/// blocks, one per rank, in row-major rank order (rank = `by * px + bx`).
+/// Leading blocks take the remainder rows/columns, as in GA's regular
+/// distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockDist {
+    rows: u64,
+    cols: u64,
+    px: u32,
+    py: u32,
+}
+
+impl BlockDist {
+    /// Distributes `rows × cols` over `n_procs` ranks using a near-square
+    /// process grid.
+    ///
+    /// # Panics
+    /// Panics on zero sizes or zero ranks.
+    pub fn new(n_procs: u32, rows: u64, cols: u64) -> Self {
+        assert!(n_procs >= 1 && rows >= 1 && cols >= 1);
+        let (px, py) = proc_grid(n_procs);
+        BlockDist { rows, cols, px, py }
+    }
+
+    /// The process grid extents `(px, py)`; `px` splits the rows.
+    pub fn grid(&self) -> (u32, u32) {
+        (self.px, self.py)
+    }
+
+    /// Array extent in rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Array extent in columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Number of ranks holding blocks.
+    pub fn num_procs(&self) -> u32 {
+        self.px * self.py
+    }
+
+    /// The row range `[lo, hi)` of block index `bx` (0-based along rows).
+    pub fn row_range(&self, bx: u32) -> (u64, u64) {
+        split_range(self.rows, self.px, bx)
+    }
+
+    /// The column range `[lo, hi)` of block index `by`.
+    pub fn col_range(&self, by: u32) -> (u64, u64) {
+        split_range(self.cols, self.py, by)
+    }
+
+    /// Block index along rows owning row `r`.
+    pub fn row_block(&self, r: u64) -> u32 {
+        find_block(self.rows, self.px, r)
+    }
+
+    /// Block index along columns owning column `c`.
+    pub fn col_block(&self, c: u64) -> u32 {
+        find_block(self.cols, self.py, c)
+    }
+
+    /// Rank owning element `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if the element is out of the array.
+    pub fn owner_of(&self, r: u64, c: u64) -> Rank {
+        assert!(r < self.rows && c < self.cols, "element ({r},{c}) out of array");
+        Rank(self.col_block(c) * self.px + self.row_block(r))
+    }
+}
+
+/// Near-square factorisation `px × py = n` with `px ≤ py` (falls back to
+/// `1 × n` for primes).
+pub fn proc_grid(n: u32) -> (u32, u32) {
+    let mut px = (n as f64).sqrt().floor() as u32;
+    while px > 1 && !n.is_multiple_of(px) {
+        px -= 1;
+    }
+    let px = px.max(1);
+    (px, n / px)
+}
+
+/// Splits `extent` into `parts` contiguous ranges; the first `extent % parts`
+/// ranges get one extra element. Returns the `idx`-th range as `[lo, hi)`.
+fn split_range(extent: u64, parts: u32, idx: u32) -> (u64, u64) {
+    assert!(idx < parts, "block {idx} out of {parts}");
+    let parts = u64::from(parts);
+    let idx = u64::from(idx);
+    let base = extent / parts;
+    let extra = extent % parts;
+    let lo = idx * base + idx.min(extra);
+    let len = base + u64::from(idx < extra);
+    (lo, lo + len)
+}
+
+/// Inverse of [`split_range`]: which part owns `pos`.
+fn find_block(extent: u64, parts: u32, pos: u64) -> u32 {
+    debug_assert!(pos < extent);
+    let parts_u = u64::from(parts);
+    let base = extent / parts_u;
+    let extra = extent % parts_u;
+    let boundary = extra * (base + 1);
+    let idx = if pos < boundary {
+        pos / (base + 1)
+    } else {
+        extra + (pos - boundary) / base.max(1)
+    };
+    idx as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_grid_factors() {
+        assert_eq!(proc_grid(16), (4, 4));
+        assert_eq!(proc_grid(12), (3, 4));
+        assert_eq!(proc_grid(7), (1, 7));
+        assert_eq!(proc_grid(1), (1, 1));
+    }
+
+    #[test]
+    fn split_ranges_partition_extent() {
+        for extent in [1u64, 7, 100, 1023] {
+            for parts in [1u32, 2, 3, 7, 16] {
+                let mut expected_lo = 0;
+                for idx in 0..parts {
+                    let (lo, hi) = split_range(extent, parts, idx);
+                    assert_eq!(lo, expected_lo);
+                    assert!(hi >= lo);
+                    expected_lo = hi;
+                }
+                assert_eq!(expected_lo, extent);
+            }
+        }
+    }
+
+    #[test]
+    fn find_block_inverts_split() {
+        for extent in [5u64, 64, 101] {
+            for parts in [1u32, 3, 4, 5] {
+                for pos in 0..extent {
+                    let b = find_block(extent, parts, pos);
+                    let (lo, hi) = split_range(extent, parts, b);
+                    assert!((lo..hi).contains(&pos), "{extent}/{parts} pos {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owner_covers_whole_array() {
+        let d = BlockDist::new(12, 100, 90);
+        let (px, py) = d.grid();
+        assert_eq!(px * py, 12);
+        for r in (0..100).step_by(7) {
+            for c in (0..90).step_by(11) {
+                let owner = d.owner_of(r, c);
+                assert!(owner.0 < 12);
+                // The element lies inside its owner's block ranges.
+                let bx = owner.0 % px;
+                let by = owner.0 / px;
+                let (rlo, rhi) = d.row_range(bx);
+                let (clo, chi) = d.col_range(by);
+                assert!((rlo..rhi).contains(&r));
+                assert!((clo..chi).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_owners() {
+        let d = BlockDist::new(16, 1024, 1024);
+        assert_eq!(d.owner_of(0, 0), Rank(0));
+        assert_eq!(d.owner_of(1023, 0), Rank(3));
+        assert_eq!(d.owner_of(0, 1023), Rank(12));
+        assert_eq!(d.owner_of(1023, 1023), Rank(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of array")]
+    fn out_of_range_element_panics() {
+        BlockDist::new(4, 10, 10).owner_of(10, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vt-ga — a Global Arrays-style layer over the ARMCI runtime model
+//!
+//! The paper's runtime (ARMCI) exists to serve the Global Arrays toolkit:
+//! GAS applications such as NWChem address dense distributed arrays through
+//! patch-level `get`/`put`/`accumulate` calls and balance work dynamically
+//! with the shared `nxtval` counter; GA translates each patch access into
+//! one-sided ARMCI operations against the patch's owners. This crate
+//! reproduces that translation layer on top of `vt-armci`:
+//!
+//! * [`GlobalArray`] — a dense 2-D array, block-distributed over a process
+//!   grid ([`BlockDist`]), with element-wise ownership and patch
+//!   intersection math;
+//! * [`patch`] operations — a [`Patch`] access decomposes into one vectored
+//!   one-sided operation per owner it touches (the segment structure is the
+//!   patch's row structure inside that owner's block, exactly why GA traffic
+//!   is CHT-path traffic in the paper);
+//! * [`calls`] — ready-made GA call sequences ([`GaCall`]) that expand into
+//!   runtime [`Action`](vt_armci::Action)s (async issue + fence), plus
+//!   `nxtval`;
+//! * [`script::GaScript`] — a [`Program`](vt_armci::Program) that executes a
+//!   queue of GA calls on one rank.
+//!
+//! ```
+//! use vt_armci::Rank;
+//! use vt_ga::{GlobalArray, Patch};
+//!
+//! // A 1024x1024 array of f64 over 16 ranks (4x4 blocks of 256x256).
+//! let ga = GlobalArray::create(16, 1024, 1024, 8);
+//! assert_eq!(ga.owner_of(0, 0), Rank(0));
+//! assert_eq!(ga.owner_of(1023, 1023), Rank(15));
+//!
+//! // A patch crossing four owners decomposes into four vectored gets.
+//! let ops = ga.get_patch(Patch::new(200, 112, 200, 112));
+//! assert_eq!(ops.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod array;
+pub mod calls;
+pub mod dist;
+pub mod patch;
+pub mod script;
+
+pub use array::GlobalArray;
+pub use calls::{nxtval, GaCall};
+pub use dist::BlockDist;
+pub use patch::Patch;
+pub use script::GaScript;

@@ -1,0 +1,104 @@
+//! Rectangular patches of a 2-D global array.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular region `[row0, row0+rows) × [col0, col0+cols)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Patch {
+    /// First row.
+    pub row0: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// First column.
+    pub col0: u64,
+    /// Number of columns.
+    pub cols: u64,
+}
+
+impl Patch {
+    /// A patch from its origin and extents.
+    ///
+    /// # Panics
+    /// Panics on empty extents.
+    pub fn new(row0: u64, rows: u64, col0: u64, cols: u64) -> Self {
+        assert!(rows >= 1 && cols >= 1, "patch must be non-empty");
+        Patch {
+            row0,
+            rows,
+            col0,
+            cols,
+        }
+    }
+
+    /// Number of elements covered.
+    pub fn elems(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// One past the last row.
+    pub fn row_end(&self) -> u64 {
+        self.row0 + self.rows
+    }
+
+    /// One past the last column.
+    pub fn col_end(&self) -> u64 {
+        self.col0 + self.cols
+    }
+
+    /// The intersection with a `[rlo, rhi) × [clo, chi)` block, if any.
+    pub fn intersect(&self, rlo: u64, rhi: u64, clo: u64, chi: u64) -> Option<Patch> {
+        let row0 = self.row0.max(rlo);
+        let rend = self.row_end().min(rhi);
+        let col0 = self.col0.max(clo);
+        let cend = self.col_end().min(chi);
+        if row0 < rend && col0 < cend {
+            Some(Patch {
+                row0,
+                rows: rend - row0,
+                col0,
+                cols: cend - col0,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_and_bounds() {
+        let p = Patch::new(10, 5, 20, 4);
+        assert_eq!(p.elems(), 20);
+        assert_eq!(p.row_end(), 15);
+        assert_eq!(p.col_end(), 24);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let p = Patch::new(0, 10, 0, 10);
+        let i = p.intersect(5, 20, 8, 9).unwrap();
+        assert_eq!(i, Patch::new(5, 5, 8, 1));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let p = Patch::new(0, 10, 0, 10);
+        assert!(p.intersect(10, 20, 0, 10).is_none());
+        assert!(p.intersect(0, 10, 10, 20).is_none());
+    }
+
+    #[test]
+    fn intersect_contained() {
+        let p = Patch::new(3, 2, 3, 2);
+        assert_eq!(p.intersect(0, 100, 0, 100), Some(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_patch_panics() {
+        Patch::new(0, 0, 0, 1);
+    }
+}

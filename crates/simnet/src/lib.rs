@@ -1,0 +1,47 @@
+//! # vt-simnet — a deterministic Cray XT5-class machine simulator
+//!
+//! The paper's evaluation ran on the Jaguar Cray XT5 (SeaStar2+ 3-D torus,
+//! connection-less Portals messaging, Cray BEER end-to-end reliability).
+//! None of that hardware is available, so this crate provides the substrate
+//! the reproduction runs on:
+//!
+//! * [`SimTime`] and the deterministic [`EventQueue`] — a discrete-event
+//!   core with stable FIFO tie-breaking,
+//! * [`Torus3`] — a 3-D torus with dimension-order routing and per-link
+//!   store-and-forward serialisation,
+//! * [`Nic`] — a network interface with transmit/receive serialisation and a
+//!   bounded set of *fast message-stream contexts*; messages from sources
+//!   outside the hot set pay a BEER-style slow-path penalty, which models the
+//!   paper's "flow control and reliability" throttling (§II),
+//! * [`Network`] — the façade that reserves NIC and link time for a message
+//!   and returns its delivery time,
+//! * [`DetRng`] and [`stats`] — seeded randomness and summary statistics.
+//!
+//! The simulator is a *time-reservation* model: every component keeps a
+//! `busy_until` horizon and messages queue behind it, which is how many-to-one
+//! traffic turns into the queueing delay and stream thrash the paper
+//! attributes FCG's contention collapse to. Everything is single-threaded and
+//! deterministic; the same seed and configuration always produce the same
+//! timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod config;
+pub mod engine;
+pub mod link;
+pub mod net;
+pub mod nic;
+pub mod placement;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod torus;
+
+pub use config::NetworkConfig;
+pub use engine::EventQueue;
+pub use net::{Delivery, Network};
+pub use nic::Nic;
+pub use placement::Placement;
+pub use rng::DetRng;
+pub use time::SimTime;
+pub use torus::Torus3;

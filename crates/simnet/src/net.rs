@@ -1,0 +1,345 @@
+//! The network façade: message delivery with full contention accounting.
+//!
+//! [`Network::send`] walks a message through every serial resource it
+//! occupies — the sender's TX engine, each torus link of the
+//! dimension-order route (cut-through: latency paid per hop, serialisation
+//! paid once but reserved on every link), and the receiver's RX engine with
+//! its stream table. The returned [`Delivery`] carries the completion time;
+//! queueing, tree saturation around hot nodes and BEER slow paths all emerge
+//! from the per-resource `busy_until` horizons.
+
+use crate::config::NetworkConfig;
+use crate::link::Link;
+use crate::nic::Nic;
+use crate::placement::PlacementMap;
+use crate::time::SimTime;
+use crate::torus::Torus3;
+
+/// Outcome of injecting one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Time the payload is fully available at the destination host.
+    pub at: SimTime,
+    /// Whether the receiver's stream table missed (BEER slow path taken).
+    pub stream_miss: bool,
+    /// Physical hops traversed (0 for intra-node delivery).
+    pub hops: u32,
+}
+
+/// Aggregate traffic counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Inter-node messages sent.
+    pub messages: u64,
+    /// Intra-node (shared-memory) deliveries.
+    pub local_messages: u64,
+    /// Total payload bytes sent inter-node.
+    pub bytes: u64,
+    /// Total BEER slow-path events.
+    pub stream_misses: u64,
+    /// Total physical hops traversed.
+    pub hops: u64,
+}
+
+/// The simulated interconnect: torus, links, and one NIC per logical node.
+pub struct Network {
+    cfg: NetworkConfig,
+    torus: Torus3,
+    placement: PlacementMap,
+    links: Vec<Link>,
+    nics: Vec<Nic>,
+    counters: NetCounters,
+}
+
+impl Network {
+    /// Builds the network for `n_nodes` logical nodes.
+    ///
+    /// # Panics
+    /// Panics if a pinned torus geometry is too small for `n_nodes`.
+    pub fn new(cfg: NetworkConfig, n_nodes: u32) -> Self {
+        assert!(n_nodes >= 1, "need at least one node");
+        let torus = match cfg.torus_dims {
+            Some(dims) => Torus3::new(dims),
+            None => Torus3::fitting(n_nodes),
+        };
+        let placement = PlacementMap::build(cfg.placement, n_nodes, &torus);
+        let links = vec![Link::default(); torus.link_count()];
+        let nics = (0..n_nodes).map(|_| Nic::new(cfg.stream_contexts)).collect();
+        Network {
+            cfg,
+            torus,
+            placement,
+            links,
+            nics,
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Number of logical nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.nics.len() as u32
+    }
+
+    /// Physical hop distance between two logical nodes.
+    pub fn hop_distance(&self, src: u32, dst: u32) -> u32 {
+        self.torus
+            .hop_count(self.placement.slot(src), self.placement.slot(dst))
+    }
+
+    /// Sends `bytes` from logical node `src` to `dst` at time `now`,
+    /// reserving every resource on the way; returns the delivery.
+    pub fn send(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> Delivery {
+        if src == dst {
+            self.counters.local_messages += 1;
+            return Delivery {
+                at: now + self.cfg.shm_latency,
+                stream_miss: false,
+                hops: 0,
+            };
+        }
+
+        // Transmit engine: software overhead + injection DMA.
+        let entered = self.nics[src as usize].reserve_tx(
+            now,
+            self.cfg.tx_overhead,
+            self.cfg.inj_time(bytes),
+        );
+
+        // Cut-through over the dimension-order route: the head pays hop
+        // latency per link; the body's serialisation time is reserved on
+        // every link it occupies but paid end-to-end only once.
+        let occupancy = self.cfg.link_time(bytes);
+        let route = self
+            .torus
+            .route_links(self.placement.slot(src), self.placement.slot(dst));
+        let hops = route.len() as u32;
+        let mut head = entered;
+        for link_id in route {
+            head = self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
+        }
+        let arrival = head + occupancy;
+
+        // Receive engine: fast path or BEER slow path.
+        let (at, stream_miss) = self.nics[dst as usize].reserve_rx(
+            src,
+            arrival,
+            self.cfg.rx_base,
+            self.cfg.rx_time(bytes),
+            self.cfg.stream_miss_penalty,
+        );
+
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.hops += u64::from(hops);
+        self.counters.stream_misses += u64::from(stream_miss);
+        Delivery {
+            at,
+            stream_miss,
+            hops,
+        }
+    }
+
+    /// Aggregate traffic counters.
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Read access to a node's NIC (for reports and tests).
+    pub fn nic(&self, node: u32) -> &Nic {
+        &self.nics[node as usize]
+    }
+
+    /// The `k` busiest links by bytes carried, busiest first — makes tree
+    /// saturation around hot nodes observable. Each entry is
+    /// `(physical slot, direction 0..6, bytes)`.
+    pub fn top_links(&self, k: usize) -> Vec<(u32, u8, u64)> {
+        let mut loaded: Vec<(u32, u8, u64)> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.bytes() > 0)
+            .map(|(id, l)| ((id / 6) as u32, (id % 6) as u8, l.bytes()))
+            .collect();
+        loaded.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        loaded.truncate(k);
+        loaded
+    }
+
+    /// Total bytes carried over all links (each hop counts the payload
+    /// once).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.links.iter().map(Link::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+
+    fn quiet_net(n: u32) -> Network {
+        Network::new(NetworkConfig::default(), n)
+    }
+
+    #[test]
+    fn local_delivery_uses_shm_latency() {
+        let mut net = quiet_net(4);
+        let d = net.send(SimTime::from_micros(1), 2, 2, 1 << 20);
+        assert_eq!(d.at, SimTime::from_micros(1) + net.config().shm_latency);
+        assert_eq!(d.hops, 0);
+        assert!(!d.stream_miss);
+        assert_eq!(net.counters().local_messages, 1);
+        assert_eq!(net.counters().messages, 0);
+    }
+
+    #[test]
+    fn remote_delivery_time_decomposes() {
+        let mut net = quiet_net(8);
+        let bytes = 2_400; // 1 us of injection and rx, 0.4 us on the wire
+        let d = net.send(SimTime::ZERO, 0, 1, bytes);
+        let cfg = *net.config();
+        let hops = net.hop_distance(0, 1);
+        assert!(hops >= 1);
+        let expected = cfg.tx_overhead
+            + cfg.inj_time(bytes)
+            + cfg.hop_latency * u64::from(hops)
+            + cfg.link_time(bytes)
+            + cfg.rx_base
+            + cfg.rx_time(bytes)
+            + cfg.stream_miss_penalty; // first contact always misses
+        assert_eq!(d.at, expected);
+        assert!(d.stream_miss);
+        assert_eq!(d.hops, hops);
+    }
+
+    #[test]
+    fn second_message_from_same_source_hits_stream_table() {
+        let mut net = quiet_net(4);
+        let a = net.send(SimTime::ZERO, 0, 1, 64);
+        let b = net.send(a.at, 0, 1, 64);
+        assert!(a.stream_miss);
+        assert!(!b.stream_miss);
+        assert_eq!(net.counters().stream_misses, 1);
+    }
+
+    #[test]
+    fn farther_nodes_take_longer() {
+        // Linear placement: physical distance grows with node-id distance.
+        let cfg = NetworkConfig {
+            torus_dims: Some([8, 8, 8]),
+            ..NetworkConfig::default()
+        };
+        let mut near_net = Network::new(cfg, 512);
+        let near = near_net.send(SimTime::ZERO, 1, 0, 1_024).at;
+        let mut far_net = Network::new(cfg, 512);
+        let far_src = 256; // (0,0,4): 4 hops from slot 0
+        let far = far_net.send(SimTime::ZERO, far_src, 0, 1_024).at;
+        assert!(far > near, "far {far:?} <= near {near:?}");
+    }
+
+    #[test]
+    fn many_to_one_serialises_at_receiver() {
+        let mut net = quiet_net(64);
+        // All nodes fire at the hot node simultaneously.
+        let deliveries: Vec<Delivery> = (1..64)
+            .map(|src| net.send(SimTime::ZERO, src, 0, 4_096))
+            .collect();
+        let mut times: Vec<SimTime> = deliveries.iter().map(|d| d.at).collect();
+        times.sort_unstable();
+        // Consecutive completions are separated by at least the rx cost.
+        let rx_cost = net.config().rx_base + net.config().rx_time(4_096);
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= rx_cost, "{:?} then {:?}", w[0], w[1]);
+        }
+        // The last delivery reflects a deep queue: far beyond a lone send.
+        let mut lone_net = quiet_net(64);
+        let lone = lone_net.send(SimTime::ZERO, 1, 0, 4_096).at;
+        assert!(*times.last().unwrap() > lone * 10);
+    }
+
+    #[test]
+    fn interleaved_sources_beyond_contexts_thrash() {
+        // More interleaved senders than stream contexts: steady-state
+        // misses; fewer senders: steady-state hits.
+        let cfg = NetworkConfig {
+            stream_contexts: 8,
+            ..NetworkConfig::default()
+        };
+        let mut net = Network::new(cfg, 32);
+        let mut t = SimTime::ZERO;
+        for _round in 0..4 {
+            for src in 1..=12u32 {
+                t = net.send(t, src, 0, 64).at;
+            }
+        }
+        let thrashed = net.counters().stream_misses;
+        assert_eq!(thrashed, 48, "every message should miss");
+
+        let mut net2 = Network::new(cfg, 32);
+        let mut t = SimTime::ZERO;
+        for _round in 0..4 {
+            for src in 1..=6u32 {
+                t = net2.send(t, src, 0, 64).at;
+            }
+        }
+        assert_eq!(net2.counters().stream_misses, 6, "only cold misses");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut net = quiet_net(4);
+        net.send(SimTime::ZERO, 0, 1, 100);
+        net.send(SimTime::ZERO, 1, 2, 200);
+        net.send(SimTime::ZERO, 3, 3, 300);
+        let c = net.counters();
+        assert_eq!(c.messages, 2);
+        assert_eq!(c.local_messages, 1);
+        assert_eq!(c.bytes, 300);
+        assert!(c.hops >= 2);
+    }
+
+    #[test]
+    fn top_links_surface_the_hot_spot() {
+        let mut net = quiet_net(64);
+        for src in 1..64 {
+            net.send(SimTime::ZERO, src, 0, 10_000);
+        }
+        let top = net.top_links(6);
+        assert!(!top.is_empty());
+        // Bytes are sorted descending.
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        // The busiest links carry many messages' worth of bytes (funnelling
+        // into node 0), far above a single payload.
+        assert!(top[0].2 > 50_000, "hottest link only {} bytes", top[0].2);
+        // Total link bytes = payload x hops.
+        assert_eq!(net.total_link_bytes(), 10_000 * net.counters().hops);
+    }
+
+    #[test]
+    fn random_placement_builds() {
+        let cfg = NetworkConfig {
+            placement: Placement::Random { seed: 5 },
+            ..NetworkConfig::default()
+        };
+        let mut net = Network::new(cfg, 100);
+        let d = net.send(SimTime::ZERO, 99, 0, 1_000);
+        assert!(d.at > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn pinned_torus_too_small_panics() {
+        let cfg = NetworkConfig {
+            torus_dims: Some([2, 2, 2]),
+            ..NetworkConfig::default()
+        };
+        Network::new(cfg, 9);
+    }
+}

@@ -1,0 +1,264 @@
+//! The per-node network interface.
+//!
+//! Models the two SeaStar properties the paper's contention story rests on:
+//!
+//! * **Serial engines** — one transmit and one receive DMA engine per node;
+//!   concurrent messages queue behind their busy horizons.
+//! * **Bounded message-stream state** — Portals is connectionless but the
+//!   NIC keeps per-source stream contexts in a small fast table
+//!   (`256 simultaneous message streams` on SeaStar2+, of which a hot
+//!   subset is resident). A message whose source misses the table takes the
+//!   BEER slow path (end-to-end reliability, flow-control handshake) and
+//!   pays a fixed penalty. Hundreds of interleaved sources — exactly the FCG
+//!   hot-spot pattern — thrash the table; the virtual topologies bound the
+//!   distinct-source count per node and stay on the fast path.
+
+use crate::time::SimTime;
+
+/// A least-recently-used set of message-stream sources with bounded
+/// capacity.
+#[derive(Clone, Debug)]
+pub struct StreamTable {
+    cap: usize,
+    /// Most recent at the back. Linear scan: capacities are small (≤ a few
+    /// hundred) and this is simple and allocation-free in steady state.
+    entries: Vec<u32>,
+}
+
+impl StreamTable {
+    /// A table holding at most `cap` concurrent source contexts.
+    pub fn new(cap: usize) -> Self {
+        StreamTable {
+            cap: cap.max(1),
+            entries: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Registers traffic from `src`; returns `true` on a fast-path hit and
+    /// `false` when the source had to be (re-)established, evicting the
+    /// least recently used entry if the table is full.
+    pub fn touch(&mut self, src: u32) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == src) {
+            self.entries.remove(pos);
+            self.entries.push(src);
+            return true;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push(src);
+        false
+    }
+
+    /// Number of resident stream contexts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no stream context is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity of the fast table.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Per-node NIC state: serial TX and RX engines plus the stream table.
+#[derive(Clone, Debug)]
+pub struct Nic {
+    tx_busy: SimTime,
+    rx_busy: SimTime,
+    streams: StreamTable,
+    stream_misses: u64,
+    rx_messages: u64,
+    tx_messages: u64,
+}
+
+impl Nic {
+    /// A NIC whose stream table holds `stream_contexts` sources.
+    pub fn new(stream_contexts: usize) -> Self {
+        Nic {
+            tx_busy: SimTime::ZERO,
+            rx_busy: SimTime::ZERO,
+            streams: StreamTable::new(stream_contexts),
+            stream_misses: 0,
+            rx_messages: 0,
+            tx_messages: 0,
+        }
+    }
+
+    /// Reserves the transmit engine from `earliest` for `overhead` software
+    /// cost plus `injection` serialisation; returns the time the message
+    /// enters the network.
+    pub fn reserve_tx(
+        &mut self,
+        earliest: SimTime,
+        overhead: SimTime,
+        injection: SimTime,
+    ) -> SimTime {
+        let start = earliest.max(self.tx_busy);
+        let done = start + overhead + injection;
+        self.tx_busy = done;
+        self.tx_messages += 1;
+        done
+    }
+
+    /// Reserves the receive engine for a message from node `src` arriving at
+    /// `arrival`; returns the delivery completion time and whether the
+    /// stream table missed.
+    ///
+    /// `base` is the per-message fast-path cost, `drain` the DMA
+    /// serialisation for the payload and `miss_penalty` the BEER slow path
+    /// charged when `src` is not resident.
+    pub fn reserve_rx(
+        &mut self,
+        src: u32,
+        arrival: SimTime,
+        base: SimTime,
+        drain: SimTime,
+        miss_penalty: SimTime,
+    ) -> (SimTime, bool) {
+        let hit = self.streams.touch(src);
+        let mut cost = base + drain;
+        if !hit {
+            cost += miss_penalty;
+            self.stream_misses += 1;
+        }
+        let start = arrival.max(self.rx_busy);
+        let done = start + cost;
+        self.rx_busy = done;
+        self.rx_messages += 1;
+        (done, !hit)
+    }
+
+    /// Time at which the transmit engine frees up.
+    pub fn tx_busy_until(&self) -> SimTime {
+        self.tx_busy
+    }
+
+    /// Time at which the receive engine frees up.
+    pub fn rx_busy_until(&self) -> SimTime {
+        self.rx_busy
+    }
+
+    /// Number of BEER slow-path events taken so far.
+    pub fn stream_misses(&self) -> u64 {
+        self.stream_misses
+    }
+
+    /// Messages received.
+    pub fn rx_messages(&self) -> u64 {
+        self.rx_messages
+    }
+
+    /// Messages transmitted.
+    pub fn tx_messages(&self) -> u64 {
+        self.tx_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_table_hits_recent_sources() {
+        let mut t = StreamTable::new(2);
+        assert!(!t.touch(1)); // cold
+        assert!(t.touch(1)); // hot
+        assert!(!t.touch(2));
+        assert!(t.touch(1)); // still resident
+        assert!(!t.touch(3)); // evicts 2 (LRU)
+        assert!(!t.touch(2)); // 2 was evicted
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn interleaved_sources_beyond_capacity_always_miss() {
+        // The FCG hot-spot pathology: more interleaved senders than
+        // contexts means every message misses.
+        let mut t = StreamTable::new(4);
+        let mut misses = 0;
+        for round in 0..10 {
+            for src in 0..5u32 {
+                if !t.touch(src) && round > 0 {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 45); // every touch after warm-up misses
+    }
+
+    #[test]
+    fn sources_within_capacity_never_miss_after_warmup() {
+        let mut t = StreamTable::new(8);
+        for src in 0..8u32 {
+            t.touch(src);
+        }
+        for _ in 0..10 {
+            for src in 0..8u32 {
+                assert!(t.touch(src));
+            }
+        }
+    }
+
+    #[test]
+    fn tx_serialises_messages() {
+        let mut nic = Nic::new(8);
+        let a = nic.reserve_tx(SimTime::ZERO, SimTime::from_nanos(10), SimTime::from_nanos(90));
+        let b = nic.reserve_tx(SimTime::ZERO, SimTime::from_nanos(10), SimTime::from_nanos(90));
+        assert_eq!(a, SimTime::from_nanos(100));
+        assert_eq!(b, SimTime::from_nanos(200));
+        assert_eq!(nic.tx_messages(), 2);
+    }
+
+    #[test]
+    fn rx_charges_miss_penalty_once_per_eviction() {
+        let mut nic = Nic::new(1);
+        let (done, missed) = nic.reserve_rx(
+            7,
+            SimTime::ZERO,
+            SimTime::from_nanos(5),
+            SimTime::from_nanos(5),
+            SimTime::from_nanos(100),
+        );
+        assert!(missed);
+        assert_eq!(done, SimTime::from_nanos(110));
+        let (done, missed) = nic.reserve_rx(
+            7,
+            done,
+            SimTime::from_nanos(5),
+            SimTime::from_nanos(5),
+            SimTime::from_nanos(100),
+        );
+        assert!(!missed);
+        assert_eq!(done, SimTime::from_nanos(120));
+        assert_eq!(nic.stream_misses(), 1);
+        assert_eq!(nic.rx_messages(), 2);
+    }
+
+    #[test]
+    fn rx_queues_behind_busy_engine() {
+        let mut nic = Nic::new(8);
+        nic.reserve_rx(
+            1,
+            SimTime::ZERO,
+            SimTime::from_nanos(100),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        let (done, _) = nic.reserve_rx(
+            2,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(100),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        assert_eq!(done, SimTime::from_nanos(200));
+        assert_eq!(nic.rx_busy_until(), done);
+    }
+}

@@ -1,0 +1,62 @@
+//! Deadlock audit: executable evidence for the paper's central safety
+//! claim — extended lowest-dimension-first forwarding is deadlock-free on
+//! *any* number of nodes, including awkward partial populations.
+//!
+//! For a range of populations (primes included) this audit
+//! 1. builds each topology's buffer-dependency graph from all-pairs LDF
+//!    routes and checks it for cycles (the Dally/Seitz criterion), and
+//! 2. runs an all-to-all CHT-path traffic storm through the simulator,
+//!    whose buffer credits genuinely block — a cyclic order would deadlock
+//!    and be reported, not hang.
+//!
+//! ```sh
+//! cargo run --release --example deadlock_audit
+//! ```
+
+use vt_armci::{Action, Op, Rank, RuntimeConfig, Simulation};
+use vt_core::{DependencyGraph, TopologyKind};
+
+fn main() {
+    let populations = [5u32, 7, 11, 13, 17, 23, 29, 31, 37, 41, 53, 64, 97];
+    println!("population  topology  channels  dep-arcs  acyclic  storm");
+    for &n in &populations {
+        for kind in [TopologyKind::Mfcg, TopologyKind::Cfcg] {
+            let topo = kind.build(n);
+            let dep = DependencyGraph::from_topology(&topo);
+            let acyclic = dep.is_deadlock_free();
+
+            // All-to-all storm: every rank fires one accumulate at every
+            // other rank, with only one buffer credit per sender to make
+            // blocking maximally likely.
+            let mut cfg = RuntimeConfig::new(n, kind);
+            cfg.procs_per_node = 1;
+            cfg.buffers_per_proc = 1;
+            let sim = Simulation::build(cfg, |rank| {
+                let mut targets: Vec<Rank> =
+                    (0..n).filter(|&t| t != rank.0).map(Rank).collect();
+                let shift = rank.0 as usize % targets.len().max(1);
+                targets.rotate_left(shift);
+                let mut actions: Vec<Action> = targets
+                    .into_iter()
+                    .map(|t| Action::Op(Op::acc(t, 2048)))
+                    .collect();
+                actions.push(Action::Barrier);
+                vt_armci::ScriptProgram::new(actions)
+            });
+            let storm = match sim.run() {
+                Ok(report) => format!("ok ({} ops)", report.metrics.total_ops()),
+                Err(e) => format!("DEADLOCK: {e}"),
+            };
+            println!(
+                "{n:>10}  {:8}  {:>8}  {:>8}  {:>7}  {storm}",
+                kind.name(),
+                dep.channel_count(),
+                dep.graph().edge_count(),
+                acyclic,
+            );
+            assert!(acyclic, "dependency cycle found for {kind} over {n} nodes");
+        }
+    }
+    println!("\nAll populations pass: LDF's monotone dimension order leaves no cycle,");
+    println!("and the extension to partial populations preserves it (paper SIV-B).");
+}

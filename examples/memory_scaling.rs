@@ -1,0 +1,50 @@
+//! Memory-scaling study (the paper's Fig. 5 through the public API): how
+//! the CHT request-buffer footprint of each virtual topology grows with
+//! the job size.
+//!
+//! ```sh
+//! cargo run --release --example memory_scaling
+//! ```
+
+use vt_apps::Table;
+use vt_core::{MemoryModel, TopologyKind, VirtualTopology};
+
+fn main() {
+    let model = MemoryModel::default(); // the paper's setup: 12 ppn, B=16KiB, M=4
+    let mut table = Table::new(&[
+        "processes",
+        "nodes",
+        "fcg (MB)",
+        "mfcg (MB)",
+        "cfcg (MB)",
+        "hypercube (MB)",
+    ]);
+
+    for nodes in [64u32, 128, 256, 512, 1024] {
+        let procs = nodes * model.procs_per_node;
+        let mut cells = vec![procs.to_string(), nodes.to_string()];
+        for kind in TopologyKind::ALL {
+            let topo = kind.build(nodes);
+            let vmrss = model.master_vmrss_bytes(&topo, 0);
+            cells.push(format!("{:.1}", vmrss as f64 / 1048576.0));
+        }
+        table.row(&cells);
+    }
+    println!("Master-process VmRSS by topology (base {} MB):", 612);
+    println!("{}", table.render());
+
+    // The asymptotics behind the numbers.
+    println!("Buffer-pool growth (edges per node):");
+    for kind in TopologyKind::ALL {
+        let d64 = kind.build(64).out_degree(0);
+        let d1024 = kind.build(1024).out_degree(0);
+        println!(
+            "  {:9}: 64 nodes -> {:4} edges, 1024 nodes -> {:4} edges ({}x for 16x nodes)",
+            kind.name(),
+            d64,
+            d1024,
+            d1024 / d64.max(1)
+        );
+    }
+    println!("\nFCG scales linearly; MFCG as O(sqrt N); CFCG as O(cbrt N); Hypercube as O(log N).");
+}

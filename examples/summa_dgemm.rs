@@ -1,0 +1,75 @@
+//! SUMMA-style distributed matrix multiply on the Global Arrays layer —
+//! the classic GA workload (`ga_dgemm`). Each rank owns one block of C and,
+//! for every step of the panel loop, *gets* a panel of A from its block row
+//! and a panel of B from its block column, multiplies locally, and finally
+//! accumulates its block of C. Panel gets concentrate on one block
+//! row/column per step, so the traffic is bursty but not single-node-hot —
+//! an intermediate regime between LU (neighbour-only) and the nxtval hot
+//! spot.
+//!
+//! ```sh
+//! cargo run --release --example summa_dgemm
+//! ```
+
+use armci_vt::prelude::*;
+use vt_apps::{run_parallel, Table};
+use vt_armci::Rank;
+
+fn main() {
+    let n_procs = 64u32;
+    let n = 2048u64; // matrix extent
+    let a = GlobalArray::create(n_procs, n, n, 8);
+    let b = GlobalArray::create(n_procs, n, n, 8);
+    let (px, py) = a.dist().grid();
+    println!("SUMMA dgemm: {n}x{n} over {n_procs} ranks ({px}x{py} grid)");
+
+    let jobs = vec![TopologyKind::Fcg, TopologyKind::Mfcg, TopologyKind::Cfcg];
+    let outcomes = run_parallel(jobs.clone(), 0, |&kind| {
+        let mut cfg = RuntimeConfig::new(n_procs, kind);
+        cfg.procs_per_node = 4;
+        let sim = Simulation::build(cfg, |rank| {
+            // This rank's C block: rows of its A block row, cols of its B
+            // block column.
+            let my_block = a.block_of(rank);
+            let mut calls = vec![GaCall::Sync];
+            // Panel loop: one panel per grid column of A / grid row of B.
+            for step in 0..px.max(py) {
+                // A panel: my block rows x the step-th column block of A.
+                let a_owner = Rank((step % py) * px + rank.0 % px);
+                let a_panel = a.block_of(a_owner);
+                calls.push(GaCall::Get(
+                    a,
+                    Patch::new(my_block.row0, my_block.rows, a_panel.col0, a_panel.cols),
+                ));
+                // B panel: the step-th row block of B x my block cols.
+                let b_owner = Rank((rank.0 / px) * px + step % px);
+                let b_panel = b.block_of(b_owner);
+                calls.push(GaCall::Get(
+                    b,
+                    Patch::new(b_panel.row0, b_panel.rows, my_block.col0, my_block.cols),
+                ));
+                // Local dgemm on the panels.
+                calls.push(GaCall::Compute(SimTime::from_micros(900)));
+            }
+            // Accumulate the finished C block (into a C array shaped like A).
+            calls.push(GaCall::Acc(a, my_block));
+            calls.push(GaCall::Sync);
+            GaScript::new(calls)
+        });
+        sim.run().expect("SUMMA must not deadlock")
+    });
+
+    let mut table = Table::new(&["topology", "exec (ms)", "ops", "forwards", "stream misses"]);
+    for (kind, report) in jobs.iter().zip(&outcomes) {
+        table.row(&[
+            kind.name().to_string(),
+            format!("{:.2}", report.finish_time.as_secs_f64() * 1e3),
+            report.metrics.total_ops().to_string(),
+            report.cht_totals.forwarded.to_string(),
+            report.net.stream_misses.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Panel gets fan out across block rows/columns: enough spread that");
+    println!("no BEER cliff appears, so FCG keeps a modest direct-path edge.");
+}

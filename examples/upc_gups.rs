@@ -1,0 +1,46 @@
+//! UPC-style fine-grained random access (GUPS) across virtual topologies —
+//! the paper's §VIII future-work question about PGAS languages.
+//!
+//! ```sh
+//! cargo run --release --example upc_gups
+//! ```
+
+use vt_apps::gups::{run, GupsConfig};
+use vt_apps::{run_parallel, Table};
+use vt_core::TopologyKind;
+
+fn main() {
+    let n_procs = 256u32;
+    let skews = [0.0, 0.5, 0.9];
+    let topologies = [TopologyKind::Fcg, TopologyKind::Mfcg, TopologyKind::Cfcg];
+
+    let mut jobs = Vec::new();
+    for &skew in &skews {
+        for t in topologies {
+            jobs.push((skew, t));
+        }
+    }
+    println!("GUPS: {n_procs} ranks, 64 random 8-byte remote accumulates each");
+    let outcomes = run_parallel(jobs.clone(), 0, |&(skew, topology)| {
+        run(&GupsConfig::skewed(n_procs, topology, skew))
+    });
+
+    let mut table = Table::new(&[
+        "skew to rank0",
+        "topology",
+        "mean update (us)",
+        "GUPS (x1e-3)",
+    ]);
+    for ((skew, topology), o) in jobs.iter().zip(&outcomes) {
+        table.row(&[
+            format!("{:.0}%", skew * 100.0),
+            topology.name().to_string(),
+            format!("{:.1}", o.mean_update_us),
+            format!("{:.3}", o.gups * 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Uniform fine-grained access favours FCG's direct path; once the");
+    println!("access distribution grows a hot spot, the virtual topologies win —");
+    println!("the same trade-off the paper measures for ARMCI applications.");
+}

@@ -1,0 +1,28 @@
+//! `vtsim` — run virtual-topology experiments from the command line.
+//!
+//! ```sh
+//! vtsim topo --topology cfcg --nodes 97
+//! vtsim contention --topology mfcg --op fadd --scenario 20
+//! vtsim memory --nodes 1024
+//! vtsim dft --cores 12288 --topology mfcg
+//! ```
+
+use armci_vt::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        None => {
+            print!("{}", cli::usage());
+            return;
+        }
+        Some((c, r)) => (c.clone(), r.to_vec()),
+    };
+    match cli::run_command(&cmd, &rest) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

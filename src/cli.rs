@@ -1,0 +1,430 @@
+//! Argument parsing and command implementations for the `vtsim` binary.
+//!
+//! Hand-rolled flag parsing (no CLI dependency): every command takes
+//! `--flag value` pairs, unknown flags are errors, and each command has
+//! defaults matching the paper's setups.
+
+use std::collections::BTreeMap;
+use vt_apps::contention::{ContentionConfig, OpSpec, Scenario};
+use vt_apps::gups::GupsConfig;
+use vt_apps::lu::LuConfig;
+use vt_apps::nwchem_ccsd::CcsdConfig;
+use vt_apps::nwchem_dft::DftConfig;
+use vt_apps::Table;
+use vt_armci::OpKind;
+use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind};
+
+/// A parsed `--key value` flag map.
+#[derive(Debug, Default)]
+pub struct Flags {
+    map: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs.
+    ///
+    /// # Errors
+    /// Returns a message for a dangling `--key` or a non-flag token.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{arg}'"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            map.insert(key.to_string(), val.clone());
+        }
+        Ok(Flags { map })
+    }
+
+    /// Takes a value, parsing it into `T`.
+    pub fn take<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, String> {
+        match self.map.remove(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        }
+    }
+
+    /// Takes the topology flag.
+    pub fn take_topology(&mut self, default: TopologyKind) -> Result<TopologyKind, String> {
+        match self.map.remove("topology") {
+            None => Ok(default),
+            Some(v) => parse_topology(&v),
+        }
+    }
+
+    /// Errors if any unrecognised flags remain.
+    pub fn finish(self) -> Result<(), String> {
+        if self.map.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown flags: {}",
+                self.map.keys().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+            ))
+        }
+    }
+}
+
+/// Parses a topology name (`fcg`, `mfcg`, `cfcg`, `hypercube`/`hc`, or the
+/// generalised `kfcgN`).
+pub fn parse_topology(s: &str) -> Result<TopologyKind, String> {
+    match s {
+        "fcg" => Ok(TopologyKind::Fcg),
+        "mfcg" => Ok(TopologyKind::Mfcg),
+        "cfcg" => Ok(TopologyKind::Cfcg),
+        "hypercube" | "hc" => Ok(TopologyKind::Hypercube),
+        other => other
+            .strip_prefix("kfcg")
+            .and_then(|k| k.parse::<u8>().ok())
+            .filter(|&k| k >= 1)
+            .map(TopologyKind::KFcg)
+            .ok_or_else(|| {
+                format!("unknown topology '{other}' (fcg|mfcg|cfcg|hypercube|kfcgN)")
+            }),
+    }
+}
+
+/// Parses a contention scenario: `none`, `11`, `20`, or `1/N`.
+pub fn parse_scenario(s: &str) -> Result<Scenario, String> {
+    match s {
+        "none" | "0" => Ok(Scenario::NoContention),
+        "11" => Ok(Scenario::pct11()),
+        "20" => Ok(Scenario::pct20()),
+        other => other
+            .strip_prefix("1/")
+            .and_then(|n| n.parse().ok())
+            .map(|every_nth| Scenario::Contention { every_nth })
+            .ok_or_else(|| format!("unknown scenario '{other}' (none|11|20|1/N)")),
+    }
+}
+
+/// Parses an operation name into an [`OpSpec`].
+pub fn parse_op(s: &str) -> Result<OpSpec, String> {
+    match s {
+        "putv" => Ok(OpSpec::vector_put()),
+        "getv" => Ok(OpSpec::vector_get()),
+        "fadd" | "fetch-add" => Ok(OpSpec::fetch_add()),
+        "lock" => Ok(OpSpec::lock_unlock()),
+        "acc" => Ok(OpSpec {
+            kind: OpKind::Acc,
+            segments: 1,
+            seg_bytes: 8 * 1024,
+        }),
+        _ => Err(format!("unknown op '{s}' (putv|getv|fadd|lock|acc)")),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "vtsim — virtual-topology experiments (ICPP 2011 reproduction)\n\
+     \n\
+     USAGE: vtsim <command> [--flag value]...\n\
+     \n\
+     COMMANDS\n\
+       topo        --topology K --nodes N            inspect a topology\n\
+       dot         --topology K --nodes N [--tree R]  Graphviz DOT export\n\
+       memory      --nodes N [--ppn 12]              Fig. 5 memory table\n\
+       contention  --topology K --op OP --scenario S [--procs 1024] [--ppn 4]\n\
+                   [--stride 16] [--iterations 20]   Figs. 6/7 protocol\n\
+       lu          --procs N [--topology K] [--iterations 250]   Fig. 8\n\
+       dft         --cores N [--topology K] [--tasks N]          Fig. 9a\n\
+       ccsd        --cores N [--topology K]                      Fig. 9b\n\
+       gups        --procs N [--topology K] [--skew 0.0]         UPC-style\n\
+     \n\
+     Topologies: fcg mfcg cfcg hypercube kfcgN. Scenarios: none 11 20 1/N.\n"
+        .to_string()
+}
+
+/// Runs one command; returns the rendered output.
+///
+/// # Errors
+/// Returns a usage/flag error message.
+pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
+    let mut flags = Flags::parse(args)?;
+    let out = match cmd {
+        "topo" => {
+            let kind = flags.take_topology(TopologyKind::Mfcg)?;
+            let nodes: u32 = flags.take("nodes", 64)?;
+            flags.finish()?;
+            if !kind.supports(nodes) {
+                return Err(format!("{} does not support {nodes} nodes", kind.name()));
+            }
+            let topo = kind.build(nodes);
+            let stats = analyze(&topo);
+            let tree = RequestTree::build(&topo, 0);
+            let dep = DependencyGraph::from_topology(&topo);
+            format!(
+                "{} over {} nodes (shape {:?})\n\
+                 edges: {}   max degree: {}\n\
+                 routes: avg {:.2} hops, max {} hops\n\
+                 request tree at node 0: height {}, direct fan-in {}\n\
+                 buffer-dependency graph: {} channels, {} arcs, deadlock-free: {}\n",
+                kind.name(),
+                nodes,
+                vt_core::VirtualTopology::shape(&topo).dims(),
+                stats.edges,
+                stats.max_degree,
+                stats.avg_route_hops,
+                stats.max_route_hops,
+                tree.height(),
+                tree.root_fan_in(),
+                dep.channel_count(),
+                dep.graph().edge_count(),
+                dep.is_deadlock_free(),
+            )
+        }
+        "dot" => {
+            let kind = flags.take_topology(TopologyKind::Mfcg)?;
+            let nodes: u32 = flags.take("nodes", 9)?;
+            let tree_root: i64 = flags.take("tree", -1i64)?;
+            flags.finish()?;
+            if !kind.supports(nodes) {
+                return Err(format!("{} does not support {nodes} nodes", kind.name()));
+            }
+            let topo = kind.build(nodes);
+            if tree_root >= 0 {
+                vt_core::tree_dot(&topo, tree_root as u32)
+            } else {
+                vt_core::topology_dot(&topo)
+            }
+        }
+        "memory" => {
+            let nodes: u32 = flags.take("nodes", 1024)?;
+            let ppn: u32 = flags.take("ppn", 12)?;
+            flags.finish()?;
+            let model = MemoryModel {
+                procs_per_node: ppn,
+                ..MemoryModel::default()
+            };
+            let mut table = Table::new(&["topology", "pool (MB)", "master VmRSS (MB)"]);
+            for kind in TopologyKind::ALL {
+                if !kind.supports(nodes) {
+                    continue;
+                }
+                let topo = kind.build(nodes);
+                table.row(&[
+                    kind.name().to_string(),
+                    format!("{:.1}", model.cht_pool_bytes(&topo, 0) as f64 / 1048576.0),
+                    format!("{:.1}", model.master_vmrss_bytes(&topo, 0) as f64 / 1048576.0),
+                ]);
+            }
+            format!("{} processes ({} nodes x {} ppn)\n{}", nodes * ppn, nodes, ppn, table.render())
+        }
+        "contention" => {
+            let topology = flags.take_topology(TopologyKind::Fcg)?;
+            let op = parse_op(&flags.take("op", "fadd".to_string())?)?;
+            let scenario = parse_scenario(&flags.take("scenario", "none".to_string())?)?;
+            let n_procs: u32 = flags.take("procs", 1024)?;
+            let ppn: u32 = flags.take("ppn", 4)?;
+            let measure_stride: u32 = flags.take("stride", 16)?;
+            let iterations: u32 = flags.take("iterations", 20)?;
+            flags.finish()?;
+            let cfg = ContentionConfig {
+                n_procs,
+                ppn,
+                measure_stride,
+                iterations,
+                ..ContentionConfig::paper(topology, op, scenario)
+            };
+            let o = vt_apps::contention::run(&cfg);
+            format!(
+                "{} / {} / {}: mean {:.1} us, median {:.1} us over {} ranks\n\
+                 stream misses {}, forwards {}, total {:.3} s\n",
+                topology.name(),
+                op.kind.name(),
+                scenario.label(),
+                o.mean_us(),
+                o.median_us(),
+                o.points.len(),
+                o.stream_misses,
+                o.forwards,
+                o.finish.as_secs_f64(),
+            )
+        }
+        "lu" => {
+            let topology = flags.take_topology(TopologyKind::Fcg)?;
+            let n_procs: u32 = flags.take("procs", 192)?;
+            let iterations: u32 = flags.take("iterations", 250)?;
+            flags.finish()?;
+            let cfg = LuConfig {
+                iterations,
+                ..LuConfig::class_c(n_procs, topology)
+            };
+            let o = vt_apps::lu::run(&cfg);
+            format!(
+                "LU {} procs / {}: {:.1} s (forwarded faces {:.1}%)\n",
+                n_procs,
+                topology.name(),
+                o.exec_seconds,
+                o.forward_fraction * 100.0
+            )
+        }
+        "dft" => {
+            let topology = flags.take_topology(TopologyKind::Fcg)?;
+            let cores: u32 = flags.take("cores", 3072)?;
+            let default_tasks = DftConfig::siosi3(cores, topology).total_tasks;
+            let tasks: u32 = flags.take("tasks", default_tasks / 8)?;
+            flags.finish()?;
+            let cfg = DftConfig {
+                total_tasks: tasks,
+                ..DftConfig::siosi3(cores, topology)
+            };
+            let o = vt_apps::nwchem_dft::run(&cfg);
+            format!(
+                "DFT {} cores / {}: {:.1} s ({} tasks, {} stream misses)\n",
+                cores,
+                topology.name(),
+                o.exec_seconds,
+                o.tasks_executed,
+                o.stream_misses
+            )
+        }
+        "ccsd" => {
+            let topology = flags.take_topology(TopologyKind::Fcg)?;
+            let cores: u32 = flags.take("cores", 9996)?;
+            flags.finish()?;
+            let mut cfg = CcsdConfig::water(cores, topology);
+            cfg.serial_seconds /= 8.0;
+            cfg.fixed_seconds_per_proc /= 8.0;
+            let o = vt_apps::nwchem_ccsd::run(&cfg);
+            format!(
+                "CCSD {} cores / {}: {:.1} s (paging {:.2}, node mem {:.2} GiB)\n",
+                cores,
+                topology.name(),
+                o.exec_seconds,
+                o.paging_factor,
+                o.node_mem_used as f64 / (1u64 << 30) as f64
+            )
+        }
+        "gups" => {
+            let topology = flags.take_topology(TopologyKind::Fcg)?;
+            let n_procs: u32 = flags.take("procs", 256)?;
+            let skew: f64 = flags.take("skew", 0.0)?;
+            flags.finish()?;
+            let o = vt_apps::gups::run(&GupsConfig::skewed(n_procs, topology, skew));
+            format!(
+                "GUPS {} procs / {} / skew {:.0}%: {:.1} us per update, {:.4} MUPS\n",
+                n_procs,
+                topology.name(),
+                skew * 100.0,
+                o.mean_update_us,
+                o.gups * 1e3
+            )
+        }
+        "help" | "--help" | "-h" => usage(),
+        other => return Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let mut f = Flags::parse(&s(&["--nodes", "97", "--topology", "cfcg"])).unwrap();
+        assert_eq!(f.take("nodes", 0u32).unwrap(), 97);
+        assert_eq!(f.take_topology(TopologyKind::Fcg).unwrap(), TopologyKind::Cfcg);
+        f.finish().unwrap();
+    }
+
+    #[test]
+    fn flags_reject_garbage() {
+        assert!(Flags::parse(&s(&["nodes"])).is_err());
+        assert!(Flags::parse(&s(&["--nodes"])).is_err());
+        let f = Flags::parse(&s(&["--bogus", "1"])).unwrap();
+        assert!(f.finish().is_err());
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(parse_topology("hc").unwrap(), TopologyKind::Hypercube);
+        assert!(parse_topology("ring").is_err());
+        assert_eq!(parse_scenario("20").unwrap(), Scenario::pct20());
+        assert_eq!(
+            parse_scenario("1/7").unwrap(),
+            Scenario::Contention { every_nth: 7 }
+        );
+        assert!(parse_scenario("all").is_err());
+        assert_eq!(parse_op("putv").unwrap(), OpSpec::vector_put());
+        assert!(parse_op("cas").is_err());
+    }
+
+    #[test]
+    fn topo_command_reports_structure() {
+        let out = run_command("topo", &s(&["--kind", "x", "--nodes", "97"]));
+        // --kind is not a recognised flag; topology is --topology.
+        assert!(out.is_err());
+        let out = run_command("topo", &s(&["--topology", "mfcg", "--nodes", "97"])).unwrap();
+        assert!(out.contains("deadlock-free: true"));
+        assert!(out.contains("97 nodes"));
+    }
+
+    #[test]
+    fn memory_command_builds_table() {
+        let out = run_command("memory", &s(&["--nodes", "64", "--ppn", "4"])).unwrap();
+        assert!(out.contains("fcg"));
+        assert!(out.contains("hypercube"));
+    }
+
+    #[test]
+    fn contention_command_runs_small() {
+        let out = run_command(
+            "contention",
+            &s(&[
+                "--procs", "32", "--ppn", "4", "--stride", "8", "--iterations", "2",
+                "--topology", "mfcg", "--op", "fadd", "--scenario", "1/5",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("mfcg / fadd / 20% contention"));
+    }
+
+    #[test]
+    fn gups_command_runs_small() {
+        let out = run_command("gups", &s(&["--procs", "16", "--skew", "0.5"])).unwrap();
+        assert!(out.contains("GUPS 16 procs"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_command("wat", &[]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn dot_command_renders_graphs() {
+        let out = run_command("dot", &s(&["--topology", "mfcg", "--nodes", "9"])).unwrap();
+        assert!(out.starts_with("graph mfcg {"));
+        let out =
+            run_command("dot", &s(&["--topology", "cfcg", "--nodes", "27", "--tree", "0"]))
+                .unwrap();
+        assert!(out.starts_with("digraph cfcg_tree {"));
+        assert_eq!(out.matches(" -> ").count(), 26);
+    }
+
+    #[test]
+    fn kfcg_parses_and_builds() {
+        assert_eq!(parse_topology("kfcg5").unwrap(), TopologyKind::KFcg(5));
+        assert!(parse_topology("kfcg0").is_err());
+        let out = run_command("topo", &s(&["--topology", "kfcg4", "--nodes", "81"])).unwrap();
+        assert!(out.contains("deadlock-free: true"));
+    }
+
+    #[test]
+    fn hypercube_node_count_guard() {
+        let err = run_command("topo", &s(&["--topology", "hc", "--nodes", "97"])).unwrap_err();
+        assert!(err.contains("does not support"));
+    }
+}

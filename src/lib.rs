@@ -1,0 +1,43 @@
+//! # armci-vt — virtual topologies for a Global Address Space runtime
+//!
+//! Umbrella crate for the reproduction of *"Virtual Topologies for Scalable
+//! Resource Management and Contention Attenuation in a Global Address Space
+//! Model on the Cray XT5"* (ICPP 2011). It re-exports the four member
+//! crates:
+//!
+//! * [`core`] (`vt-core`) — the paper's contribution: FCG/MFCG/CFCG/Hypercube
+//!   virtual topologies, lowest-dimension-first forwarding, request-path
+//!   trees, deadlock analysis and the buffer-memory model.
+//! * [`simnet`] (`vt-simnet`) — deterministic discrete-event simulator of a
+//!   Cray XT5-class machine (3-D torus, SeaStar-like NICs, BEER-style flow
+//!   control).
+//! * [`armci`] (`vt-armci`) — the ARMCI-like GAS runtime model: communication
+//!   helper threads, request-buffer credits, one-sided operations and
+//!   virtual-topology request forwarding.
+//! * [`apps`] (`vt-apps`) — workloads: hot-spot contention microbenchmarks,
+//!   a NAS LU proxy and NWChem DFT/CCSD proxies, plus a parallel sweep
+//!   runner.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod cli;
+
+pub use vt_apps as apps;
+pub use vt_armci as armci;
+pub use vt_core as core;
+pub use vt_ga as ga;
+pub use vt_simnet as simnet;
+
+/// Commonly used items, re-exported flat for convenience.
+pub mod prelude {
+    pub use vt_armci::{RuntimeConfig, Simulation};
+    pub use vt_core::{
+        Cfcg, Fcg, Hypercube, MemoryModel, Mfcg, RequestTree, Shape, TopologyKind,
+        VirtualTopology,
+    };
+    pub use vt_ga::{GaCall, GaScript, GlobalArray, Patch};
+    pub use vt_simnet::{NetworkConfig, SimTime};
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the runtime engine: randomly generated
+//! workloads over randomly shaped (often partially populated) topologies
+//! must always complete, conserve operation counts, and reproduce
+//! bit-identically.
+
+use proptest::prelude::*;
+use vt_armci::{Action, Op, Rank, Report, RuntimeConfig, ScriptProgram, Simulation};
+use vt_core::TopologyKind;
+
+/// A compact encoding of one random workload.
+#[derive(Clone, Debug)]
+struct WorkloadSpec {
+    kind: TopologyKind,
+    n_procs: u32,
+    ppn: u32,
+    buffers: u32,
+    ops_per_rank: u32,
+    op_mix: u8,
+    target_seed: u32,
+    with_barrier: bool,
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        prop_oneof![
+            Just(TopologyKind::Fcg),
+            Just(TopologyKind::Mfcg),
+            Just(TopologyKind::Cfcg),
+        ],
+        2u32..60,
+        1u32..5,
+        1u32..4,
+        1u32..6,
+        any::<u8>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(kind, n_procs, ppn, buffers, ops_per_rank, op_mix, target_seed, with_barrier)| {
+                WorkloadSpec {
+                    kind,
+                    n_procs,
+                    ppn,
+                    buffers,
+                    ops_per_rank,
+                    op_mix,
+                    target_seed,
+                    with_barrier,
+                }
+            },
+        )
+}
+
+fn build_op(spec: &WorkloadSpec, rank: u32, i: u32) -> Op {
+    let target = Rank((spec.target_seed.wrapping_add(rank * 31 + i * 7)) % spec.n_procs);
+    match (spec.op_mix.wrapping_add(i as u8)) % 5 {
+        0 => Op::put_v(target, 1 + i % 4, 256),
+        1 => Op::get_v(target, 1 + i % 4, 256),
+        2 => Op::acc(target, 512),
+        3 => Op::fetch_add(target, 1),
+        _ => Op::put(target, 4096),
+    }
+}
+
+fn run_spec(spec: &WorkloadSpec) -> Report {
+    let mut cfg = RuntimeConfig::new(spec.n_procs, spec.kind);
+    cfg.procs_per_node = spec.ppn;
+    cfg.buffers_per_proc = spec.buffers;
+    let sim = Simulation::build(cfg, |rank| {
+        let mut actions = Vec::new();
+        for i in 0..spec.ops_per_rank {
+            let op = build_op(spec, rank.0, i);
+            if i % 2 == 0 {
+                actions.push(Action::Op(op));
+            } else {
+                actions.push(Action::OpAsync(op));
+            }
+        }
+        actions.push(Action::WaitAll);
+        if spec.with_barrier {
+            actions.push(Action::Barrier);
+        }
+        ScriptProgram::new(actions)
+    });
+    sim.run().expect("random workload must never deadlock")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random mix of blocking/async one-sided ops over any topology and
+    /// population completes, with every op accounted for.
+    #[test]
+    fn random_workloads_complete_and_conserve_ops(spec in workload_strategy()) {
+        let report = run_spec(&spec);
+        prop_assert_eq!(
+            report.metrics.total_ops(),
+            u64::from(spec.n_procs) * u64::from(spec.ops_per_rank)
+        );
+        // Every rank finished.
+        for s in &report.metrics.per_rank {
+            prop_assert_eq!(s.ops, u64::from(spec.ops_per_rank));
+        }
+    }
+
+    /// Identical specs reproduce identical timelines (determinism).
+    #[test]
+    fn runs_are_deterministic(spec in workload_strategy()) {
+        let a = run_spec(&spec);
+        let b = run_spec(&spec);
+        prop_assert_eq!(a.finish_time, b.finish_time);
+        prop_assert_eq!(a.net, b.net);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(
+            a.metrics.mean_latency_by_rank_us(),
+            b.metrics.mean_latency_by_rank_us()
+        );
+    }
+
+    /// Fetch-&-add responses form a permutation of 0..k when k ranks each
+    /// add 1 to the same counter — atomicity at the serial CHT.
+    #[test]
+    fn fetch_add_serialises_correctly(n in 2u32..40, kind_pick in 0u8..3) {
+        let kind = [TopologyKind::Fcg, TopologyKind::Mfcg, TopologyKind::Cfcg]
+            [kind_pick as usize];
+        let mut cfg = RuntimeConfig::new(n, kind);
+        cfg.procs_per_node = 2;
+        use std::sync::Mutex;
+        use std::sync::Arc;
+        let seen = Arc::new(Mutex::new(Vec::<i64>::new()));
+        let sim = Simulation::build(cfg, |rank| {
+            let seen = seen.clone();
+            let mut state = 0u8;
+            vt_armci::ClosureProgram::new(move |ctx: &vt_armci::ProcCtx| {
+                if rank == Rank(0) {
+                    return Action::Done;
+                }
+                match state {
+                    0 => {
+                        state = 1;
+                        Action::Op(Op::fetch_add(Rank(0), 1))
+                    }
+                    _ => {
+                        if state == 1 {
+                            state = 2;
+                            seen.lock().unwrap().push(ctx.last_fetch.expect("value"));
+                        }
+                        Action::Done
+                    }
+                }
+            })
+        });
+        sim.run().expect("no deadlock");
+        let mut vals = seen.lock().unwrap().clone();
+        vals.sort_unstable();
+        let expected: Vec<i64> = (0..i64::from(n) - 1).collect();
+        prop_assert_eq!(vals, expected);
+    }
+}

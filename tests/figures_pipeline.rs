@@ -1,0 +1,151 @@
+//! Scaled-down versions of every figure pipeline, asserting the paper's
+//! qualitative results end to end. The full-size harnesses live in
+//! `crates/bench/benches/`; these keep the claims under `cargo test`.
+
+use vt_apps::lu::{self, LuConfig};
+use vt_apps::nwchem_ccsd::{self, CcsdConfig};
+use vt_apps::nwchem_dft::{self, DftConfig};
+use vt_core::{MemoryModel, TopologyKind};
+
+// ---- Figure 5: memory scaling ------------------------------------------
+
+#[test]
+fn fig5_fcg_grows_linearly_and_others_sublinearly() {
+    let model = MemoryModel::default();
+    let inc = |kind: TopologyKind, nodes: u32| {
+        model.increment_bytes(&kind.build(nodes), 0) as f64
+    };
+    // FCG: doubling nodes doubles the increment.
+    let r = inc(TopologyKind::Fcg, 1024) / inc(TopologyKind::Fcg, 512);
+    assert!((r - 2.0).abs() < 0.05, "FCG ratio {r}");
+    // MFCG: doubling nodes multiplies the pool by about √2; with the fixed
+    // bookkeeping the VmRSS increment grows clearly sublinearly.
+    let r = inc(TopologyKind::Mfcg, 1024) / inc(TopologyKind::Mfcg, 512);
+    assert!(r < 1.8, "MFCG ratio {r}");
+    // Hypercube: doubling adds one edge — almost flat pools.
+    let pool = |nodes: u32| model.cht_pool_bytes(&TopologyKind::Hypercube.build(nodes), 0) as f64;
+    let r = pool(1024) / pool(512);
+    assert!(r < 1.2, "Hypercube pool ratio {r}");
+}
+
+#[test]
+fn fig5_orderings_match_paper_at_12288_processes() {
+    let model = MemoryModel::default();
+    let nodes = 1024; // 12 288 processes at 12 ppn
+    let incs: Vec<(TopologyKind, u64)> = TopologyKind::ALL
+        .into_iter()
+        .map(|k| (k, model.increment_bytes(&k.build(nodes), 0)))
+        .collect();
+    // FCG ≫ MFCG > CFCG > Hypercube, with FCG's increment near the paper's
+    // 812 MB.
+    assert!(incs.windows(2).all(|w| w[0].1 > w[1].1));
+    let fcg_mb = incs[0].1 as f64 / 1048576.0;
+    assert!((700.0..900.0).contains(&fcg_mb), "FCG increment {fcg_mb} MB");
+}
+
+// ---- Figure 8: NAS LU ---------------------------------------------------
+
+fn lu_cfg(procs: u32, kind: TopologyKind) -> LuConfig {
+    LuConfig {
+        iterations: 8,
+        serial_seconds_per_iter: 28.0,
+        ..LuConfig::class_c(procs, kind)
+    }
+}
+
+#[test]
+fn fig8_lu_strong_scales_and_is_topology_insensitive() {
+    let t192 = lu::run(&lu_cfg(192, TopologyKind::Fcg)).exec_seconds;
+    let t768 = lu::run(&lu_cfg(768, TopologyKind::Fcg)).exec_seconds;
+    assert!(t768 < t192 * 0.5, "LU must strong-scale: {t192} -> {t768}");
+
+    let fcg = lu::run(&lu_cfg(384, TopologyKind::Fcg)).exec_seconds;
+    for kind in [TopologyKind::Mfcg, TopologyKind::Cfcg] {
+        let t = lu::run(&lu_cfg(384, kind)).exec_seconds;
+        let ratio = t / fcg;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "{kind} vs FCG on LU: ratio {ratio}"
+        );
+    }
+}
+
+// ---- Figure 9a: NWChem DFT ----------------------------------------------
+
+fn dft_cfg(cores: u32, kind: TopologyKind) -> DftConfig {
+    DftConfig {
+        ppn: 4,
+        total_tasks: 6_000,
+        mean_task_seconds: 0.008,
+        ..DftConfig::siosi3(cores, kind)
+    }
+}
+
+#[test]
+fn fig9a_mfcg_beats_fcg_when_nxtval_saturates() {
+    // At this scaled-down size the nxtval rate (cores / task length)
+    // saturates the hot node just as at the paper's 10k+ cores.
+    let fcg = nwchem_dft::run(&dft_cfg(1024, TopologyKind::Fcg));
+    let mfcg = nwchem_dft::run(&dft_cfg(1024, TopologyKind::Mfcg));
+    assert_eq!(fcg.tasks_executed, mfcg.tasks_executed);
+    assert!(
+        mfcg.exec_seconds < 0.8 * fcg.exec_seconds,
+        "MFCG must win clearly under nxtval saturation: {} vs {}",
+        mfcg.exec_seconds,
+        fcg.exec_seconds
+    );
+    // Responses and acks travel directly (outside the virtual topology), so
+    // both runs see stream misses; FCG must still see more, because its
+    // hot node is hit from hundreds of distinct sources.
+    assert!(fcg.stream_misses > mfcg.stream_misses);
+}
+
+#[test]
+fn fig9a_work_is_conserved_across_scales() {
+    let small = nwchem_dft::run(&dft_cfg(256, TopologyKind::Fcg));
+    let large = nwchem_dft::run(&dft_cfg(1024, TopologyKind::Fcg));
+    assert_eq!(small.tasks_executed, 6_000);
+    assert_eq!(large.tasks_executed, 6_000);
+}
+
+// ---- Figure 9b: NWChem CCSD ---------------------------------------------
+
+fn ccsd_cfg(cores: u32, kind: TopologyKind) -> CcsdConfig {
+    let mut cfg = CcsdConfig::water(cores, kind);
+    cfg.serial_seconds /= 200.0;
+    cfg.fixed_seconds_per_proc /= 200.0;
+    cfg
+}
+
+#[test]
+fn fig9b_memory_crossover() {
+    // Below the wall: FCG at least matches MFCG.
+    let fcg = nwchem_ccsd::run(&ccsd_cfg(2004, TopologyKind::Fcg));
+    let mfcg = nwchem_ccsd::run(&ccsd_cfg(2004, TopologyKind::Mfcg));
+    assert_eq!(fcg.paging_factor, 1.0);
+    assert!(fcg.exec_seconds <= mfcg.exec_seconds * 1.05);
+
+    // Past the wall (~10k cores): FCG's pool overflows node memory and the
+    // ranking flips.
+    let fcg = nwchem_ccsd::run(&ccsd_cfg(14004, TopologyKind::Fcg));
+    let mfcg = nwchem_ccsd::run(&ccsd_cfg(14004, TopologyKind::Mfcg));
+    assert!(fcg.paging_factor > 1.0, "FCG should page at 14k cores");
+    assert_eq!(mfcg.paging_factor, 1.0, "MFCG must still fit");
+    assert!(
+        fcg.exec_seconds > mfcg.exec_seconds,
+        "crossover: {} !> {}",
+        fcg.exec_seconds,
+        mfcg.exec_seconds
+    );
+}
+
+#[test]
+fn fig9b_scaling_saturates_like_the_paper() {
+    // The paper's water-model curves drop slowly from 2k to 20k cores —
+    // per-process fixed work dominates. Speedup from 10x cores stays far
+    // below 10x.
+    let small = nwchem_ccsd::run(&ccsd_cfg(2004, TopologyKind::Mfcg));
+    let large = nwchem_ccsd::run(&ccsd_cfg(20004, TopologyKind::Mfcg));
+    let speedup = small.exec_seconds / large.exec_seconds;
+    assert!(speedup > 1.0 && speedup < 5.0, "speedup {speedup}");
+}

@@ -1,0 +1,81 @@
+//! End-to-end deadlock-freedom: the runtime's buffer credits genuinely
+//! block, so these storms would hang (and be reported as deadlock) if the
+//! forwarding order or the CHT parking discipline were wrong.
+
+use vt_armci::{Action, Op, Rank, RuntimeConfig, Simulation};
+use vt_core::TopologyKind;
+
+/// All-to-all accumulate storm with minimal credits (M = 1) — the
+/// harshest buffer pressure possible.
+fn storm(kind: TopologyKind, n: u32, ppn: u32, buffers: u32) -> vt_armci::Report {
+    let mut cfg = RuntimeConfig::new(n, kind);
+    cfg.procs_per_node = ppn;
+    cfg.buffers_per_proc = buffers;
+    let sim = Simulation::build(cfg, |rank| {
+        let mut targets: Vec<Rank> = (0..n).filter(|&t| t != rank.0).map(Rank).collect();
+        let shift = rank.0 as usize % targets.len().max(1);
+        targets.rotate_left(shift);
+        let mut actions: Vec<Action> = targets
+            .into_iter()
+            .map(|t| Action::Op(Op::acc(t, 1024)))
+            .collect();
+        actions.push(Action::Barrier);
+        vt_armci::ScriptProgram::new(actions)
+    });
+    sim.run().unwrap_or_else(|e| panic!("{kind} over {n} nodes deadlocked: {e}"))
+}
+
+#[test]
+fn all_to_all_on_partial_mfcg_populations() {
+    for n in [5u32, 7, 11, 13, 23, 31, 47] {
+        let report = storm(TopologyKind::Mfcg, n, 1, 1);
+        assert_eq!(report.metrics.total_ops(), u64::from(n) * u64::from(n - 1));
+    }
+}
+
+#[test]
+fn all_to_all_on_partial_cfcg_populations() {
+    // CFCG has deeper forwarding chains — this is the configuration that
+    // exposed the head-of-line deadlock the CHT parking discipline fixes.
+    for n in [11u32, 13, 17, 29, 37, 53] {
+        let report = storm(TopologyKind::Cfcg, n, 1, 1);
+        assert_eq!(report.metrics.total_ops(), u64::from(n) * u64::from(n - 1));
+        assert!(report.cht_totals.forwarded > 0);
+    }
+}
+
+#[test]
+fn all_to_all_on_hypercube() {
+    let report = storm(TopologyKind::Hypercube, 32, 1, 1);
+    assert_eq!(report.metrics.total_ops(), 32 * 31);
+    // log2(32)-dimensional routes: plenty of forwarding.
+    assert!(report.cht_totals.forwarded > 500);
+}
+
+#[test]
+fn storms_with_multiple_procs_per_node() {
+    for kind in [TopologyKind::Mfcg, TopologyKind::Cfcg] {
+        let report = storm(kind, 48, 4, 2);
+        assert_eq!(report.metrics.total_ops(), 48 * 47);
+    }
+}
+
+#[test]
+fn parking_is_exercised_under_pressure() {
+    // With M = 1 and deep forwarding, CHTs must park forwards; the storm
+    // still completes.
+    let report = storm(TopologyKind::Cfcg, 27, 1, 1);
+    assert!(
+        report.cht_totals.parked > 0,
+        "expected credit-starved forwards to park at least once"
+    );
+}
+
+#[test]
+fn storm_is_deterministic() {
+    let a = storm(TopologyKind::Mfcg, 23, 2, 1);
+    let b = storm(TopologyKind::Mfcg, 23, 2, 1);
+    assert_eq!(a.finish_time, b.finish_time);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.cht_totals, b.cht_totals);
+}
