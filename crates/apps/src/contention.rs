@@ -15,9 +15,9 @@
 //! each blocking op), so contender traffic never pollutes a measured mean.
 
 use crate::report::Series;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::sync::Mutex;
 use vt_armci::{Action, Op, OpKind, ProcCtx, Program, Rank, RuntimeConfig, Simulation};
 use vt_core::TopologyKind;
 use vt_simnet::SimTime;
@@ -291,7 +291,9 @@ impl Program for ContentionProgram {
                 } else {
                     self.sched.op.to_op(Rank(0))
                 };
-                if self.sched.pipelined && !measuring && op.kind != OpKind::Lock
+                if self.sched.pipelined
+                    && !measuring
+                    && op.kind != OpKind::Lock
                     && op.kind != OpKind::Unlock
                 {
                     // Contenders pipeline up to their M credits.
@@ -312,6 +314,7 @@ impl Program for ContentionProgram {
             if self.sched.measured[self.phase] == self.rank && self.lat_count > 0 {
                 self.results
                     .lock()
+                    .expect("no panics hold the results lock")
                     .push((self.rank.0, self.lat_sum_us / f64::from(self.lat_count)));
                 self.lat_sum_us = 0.0;
                 self.lat_count = 0;
@@ -379,7 +382,8 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
 
     let mut points = Arc::try_unwrap(results)
         .expect("all programs dropped")
-        .into_inner();
+        .into_inner()
+        .expect("no panics hold the results lock");
     points.sort_unstable_by_key(|&(r, _)| r);
     ContentionOutcome {
         points,
@@ -505,7 +509,10 @@ mod tests {
             OpSpec::vector_put().to_op(Rank(0)),
             Op::put_v(Rank(0), 8, 1024)
         );
-        assert_eq!(OpSpec::fetch_add().to_op(Rank(0)), Op::fetch_add(Rank(0), 1));
+        assert_eq!(
+            OpSpec::fetch_add().to_op(Rank(0)),
+            Op::fetch_add(Rank(0), 1)
+        );
         let lock = OpSpec {
             kind: OpKind::Lock,
             segments: 1,

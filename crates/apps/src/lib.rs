@@ -16,14 +16,18 @@
 //! * [`nwchem_ccsd`] — an NWChem CCSD(T) water proxy (Fig. 9b):
 //!   accumulate-heavy, spread traffic, memory-bound; FCG's `O(N)` buffer
 //!   pools overflow node memory at scale.
+//! * [`faults`] — the topology-resilience experiment: kill a forwarder
+//!   mid-run and measure completion time, availability and the
+//!   self-healing runtime's recovery counters per topology.
 //! * [`report`] — gnuplot-ready series/panel/table rendering.
-//! * [`sweep`] — a crossbeam-based parallel runner for independent
+//! * [`sweep`] — a scoped-thread parallel runner for independent
 //!   simulations (each simulation itself stays single-threaded and
 //!   deterministic).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod contention;
+pub mod faults;
 pub mod gups;
 pub mod lu;
 pub mod nwchem_ccsd;
@@ -32,6 +36,7 @@ pub mod report;
 pub mod sweep;
 
 pub use contention::{ContentionConfig, ContentionOutcome, OpSpec, Scenario};
+pub use faults::{FaultOutcome, FaultScenarioConfig};
 pub use gups::{GupsConfig, GupsOutcome};
 pub use lu::{LuConfig, LuOutcome};
 pub use nwchem_ccsd::{CcsdConfig, CcsdOutcome};

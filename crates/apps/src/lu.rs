@@ -192,10 +192,22 @@ impl Program for LuProgram {
                 }
                 1 => Some(Action::Compute(self.compute_time())),
                 2 => self.neighbor(1, 0).map(|nb| {
-                    Action::Op(Op { target: nb, ..self.face_x }.with_notify())
+                    Action::Op(
+                        Op {
+                            target: nb,
+                            ..self.face_x
+                        }
+                        .with_notify(),
+                    )
                 }),
                 3 => self.neighbor(0, 1).map(|nb| {
-                    Action::Op(Op { target: nb, ..self.face_y }.with_notify())
+                    Action::Op(
+                        Op {
+                            target: nb,
+                            ..self.face_y
+                        }
+                        .with_notify(),
+                    )
                 }),
                 4 => {
                     if self.cfg.wavefront {
@@ -207,10 +219,22 @@ impl Program for LuProgram {
                 }
                 5 => Some(Action::Compute(self.compute_time())),
                 6 => self.neighbor(-1, 0).map(|nb| {
-                    Action::Op(Op { target: nb, ..self.face_x }.with_notify())
+                    Action::Op(
+                        Op {
+                            target: nb,
+                            ..self.face_x
+                        }
+                        .with_notify(),
+                    )
                 }),
                 7 => self.neighbor(0, -1).map(|nb| {
-                    Action::Op(Op { target: nb, ..self.face_y }.with_notify())
+                    Action::Op(
+                        Op {
+                            target: nb,
+                            ..self.face_y
+                        }
+                        .with_notify(),
+                    )
                 }),
                 8 => Some(Action::Barrier),
                 _ => {

@@ -2,12 +2,12 @@
 //!
 //! Every simulation is single-threaded and deterministic; a parameter sweep
 //! (one run per topology × scale × scenario) is embarrassingly parallel.
-//! [`run_parallel`] fans jobs out over crossbeam scoped threads while
+//! [`run_parallel`] fans jobs out over `std::thread::scope` workers while
 //! preserving input order in the results — determinism of each job plus
 //! ordered collection keeps the whole harness reproducible.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `f` over all `inputs` on up to `threads` worker threads (0 means
 /// one per available CPU), returning outputs in input order.
@@ -35,23 +35,22 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f(&inputs[i]);
-                results.lock()[i] = Some(out);
+                results.lock().expect("sweep worker panicked")[i] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|o| o.expect("job not completed"))
         .collect()

@@ -20,6 +20,12 @@ pub struct CreditKey {
     pub sender: Sender,
     /// The edge, as (source node, destination node).
     pub edge: (NodeId, NodeId),
+    /// The escape buffer class the request travels in. Fault-free traffic is
+    /// entirely class 0; route-around escalates the class on every descent
+    /// (see `vt_core::ldf::route_avoiding_classed`), giving each class its
+    /// own credit pool on the same edge so the buffer-dependency graph over
+    /// `(edge, class)` stays acyclic under any dead set.
+    pub class: u8,
 }
 
 /// Tracks in-flight request counts per `(sender, edge)` with a FIFO queue
@@ -46,6 +52,13 @@ pub enum Waiter {
         /// The forwarding node.
         node: NodeId,
         /// The parked request.
+        req: crate::ids::ReqId,
+    },
+    /// A retransmitted request waiting at its origin for a fresh first-hop
+    /// credit (fault-recovery path only; initial issues block the process
+    /// itself via [`Waiter::Proc`]).
+    Retry {
+        /// The retransmit attempt's request.
         req: crate::ids::ReqId,
     },
 }
@@ -128,7 +141,10 @@ impl CreditManager {
 
     /// Number of blocked waiters.
     pub fn blocked_count(&self) -> usize {
-        self.waiters.values().map(std::collections::VecDeque::len).sum()
+        self.waiters
+            .values()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 }
 
@@ -141,6 +157,7 @@ mod tests {
         CreditKey {
             sender,
             edge: (0, 1),
+            class: 0,
         }
     }
 
@@ -163,12 +180,25 @@ mod tests {
         let c = CreditKey {
             sender: Sender::Proc(Rank(0)),
             edge: (0, 2),
+            class: 0,
         };
         assert!(cm.try_acquire(a));
         assert!(cm.try_acquire(b));
         assert!(cm.try_acquire(c));
         assert!(!cm.try_acquire(a));
         assert_eq!(cm.total_in_flight(), 3);
+    }
+
+    #[test]
+    fn escape_classes_have_independent_accounts() {
+        let mut cm = CreditManager::new(1);
+        let k0 = key(Sender::Cht(0));
+        let k1 = CreditKey { class: 1, ..k0 };
+        assert!(cm.try_acquire(k0));
+        assert!(cm.try_acquire(k1), "class 1 must have its own pool");
+        assert!(!cm.try_acquire(k0));
+        assert_eq!(cm.release(k1), None);
+        assert!(cm.try_acquire(k1));
     }
 
     #[test]

@@ -105,7 +105,12 @@ impl Cht {
 
     /// Marks the start of a service; returns the wakeup penalty to charge
     /// (zero when the CHT was still polling).
-    pub fn begin_service(&mut self, now: SimTime, poll_window: SimTime, wakeup: SimTime) -> SimTime {
+    pub fn begin_service(
+        &mut self,
+        now: SimTime,
+        poll_window: SimTime,
+        wakeup: SimTime,
+    ) -> SimTime {
         debug_assert!(!self.busy, "service overlap");
         self.busy = true;
         if now.saturating_sub(self.last_service_end) > poll_window {
@@ -137,7 +142,11 @@ mod tests {
     fn enqueue_signals_start_only_when_idle() {
         let mut cht = Cht::new();
         assert!(cht.enqueue(1));
-        let wake = cht.begin_service(SimTime::ZERO, SimTime::from_micros(60), SimTime::from_micros(8));
+        let wake = cht.begin_service(
+            SimTime::ZERO,
+            SimTime::from_micros(60),
+            SimTime::from_micros(8),
+        );
         assert_eq!(wake, SimTime::ZERO); // t = 0 counts as within the window
         assert!(!cht.enqueue(2)); // busy: no new start
         assert_eq!(cht.queue_len(), 2);

@@ -95,6 +95,50 @@ fn per_byte(bytes: u64, ns_per_byte: f64) -> SimTime {
     SimTime::from_nanos((bytes as f64 * ns_per_byte).round() as u64)
 }
 
+/// End-to-end retransmission policy for fault-tolerant runs.
+///
+/// Every remote operation issued while a fault plan is active arms a
+/// per-request timer at the origin. If no response arrives within
+/// `timeout × backoff^attempt`, the origin clones the request (same sequence
+/// number, next attempt counter) and re-issues it from scratch; after
+/// `max_retries` retransmissions the operation fails with
+/// [`SimError::TimedOut`](crate::SimError::TimedOut). The timers only exist
+/// when a non-empty [`FaultPlan`](vt_simnet::FaultPlan) is installed — a
+/// fault-free run schedules no timeout events at all, keeping its timeline
+/// byte-identical to a run without the fault layer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Base response timeout for attempt 0.
+    pub timeout: SimTime,
+    /// Maximum number of retransmissions per operation (attempts beyond the
+    /// original send). 0 disables retransmission: the first timeout fails
+    /// the operation.
+    pub max_retries: u32,
+    /// Exponential backoff multiplier: attempt `k` waits
+    /// `timeout × backoff^k`.
+    pub backoff: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: SimTime::from_millis(5),
+            max_retries: 4,
+            backoff: 2,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The response deadline offset for retransmission attempt `attempt`.
+    pub fn deadline(&self, attempt: u32) -> SimTime {
+        let mult = u64::from(self.backoff)
+            .saturating_pow(attempt.min(20))
+            .max(1);
+        self.timeout * mult
+    }
+}
+
 /// Full configuration of a simulated ARMCI job.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -124,6 +168,9 @@ pub struct RuntimeConfig {
     pub record_ops: bool,
     /// Root seed for all stochastic choices.
     pub seed: u64,
+    /// Timeout/retransmission policy (only consulted when a fault plan is
+    /// installed via [`Simulation::with_faults`](crate::Simulation)).
+    pub retry: RetryConfig,
 }
 
 impl RuntimeConfig {
@@ -146,6 +193,7 @@ impl RuntimeConfig {
             barrier_stage: SimTime::from_micros(2),
             record_ops: false,
             seed: 0xA2C1,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -160,14 +208,25 @@ impl RuntimeConfig {
     /// Panics on zero counts or a topology that cannot cover the node count.
     pub fn validate(&self) {
         assert!(self.n_procs >= 1, "need at least one process");
-        assert!(self.procs_per_node >= 1, "need at least one process per node");
-        assert!(self.buffers_per_proc >= 1, "need at least one buffer credit");
+        assert!(
+            self.procs_per_node >= 1,
+            "need at least one process per node"
+        );
+        assert!(
+            self.buffers_per_proc >= 1,
+            "need at least one buffer credit"
+        );
         assert!(
             self.topology.supports(self.num_nodes()),
             "{} does not support {} nodes",
             self.topology.name(),
             self.num_nodes()
         );
+        assert!(
+            self.retry.timeout > SimTime::ZERO,
+            "retry timeout must be positive"
+        );
+        assert!(self.retry.backoff >= 1, "backoff multiplier must be >= 1");
     }
 }
 
@@ -202,7 +261,9 @@ mod tests {
     #[test]
     fn acc_costs_more_than_putv_of_same_size() {
         let c = ChtConfig::default();
-        assert!(c.service_time(&Op::acc(Rank(0), 4096)) > c.service_time(&Op::put_v(Rank(0), 1, 4096)));
+        assert!(
+            c.service_time(&Op::acc(Rank(0), 4096)) > c.service_time(&Op::put_v(Rank(0), 1, 4096))
+        );
     }
 
     #[test]
@@ -213,6 +274,16 @@ mod tests {
         cfg.topology = TopologyKind::Hypercube; // 25 nodes: unsupported
         let res = std::panic::catch_unwind(|| cfg.validate());
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn retry_deadline_backs_off_exponentially() {
+        let r = RetryConfig::default();
+        assert_eq!(r.deadline(0), r.timeout);
+        assert_eq!(r.deadline(1), r.timeout * 2);
+        assert_eq!(r.deadline(3), r.timeout * 8);
+        // Saturates instead of overflowing on absurd attempt counts.
+        assert!(r.deadline(u32::MAX) >= r.deadline(20));
     }
 
     #[test]

@@ -19,11 +19,14 @@ use crate::cht::{Cht, ChtCounters};
 use crate::config::RuntimeConfig;
 use crate::ids::{NodeId, Rank, ReqId, Sender};
 use crate::layout::Layout;
-use crate::metrics::Metrics;
+use crate::metrics::{FaultStats, Metrics};
 use crate::ops::{Op, OpKind};
 use crate::workload::{Action, ProcCtx, Program};
-use vt_core::{Grid, VirtualTopology};
-use vt_simnet::{EventQueue, Network, SimTime};
+use std::collections::{HashMap, HashSet};
+use vt_core::ldf::{self, HopDecision};
+use vt_core::{Grid, Shape, VirtualTopology};
+use vt_simnet::fault::NodeCrash;
+use vt_simnet::{EventQueue, FaultPlan, Network, SendOutcome, SimTime};
 
 /// Engine events.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +47,10 @@ enum Event {
     NotifyArrive { target: Rank },
     /// All ranks entered the barrier; release them.
     BarrierRelease,
+    /// A per-request response timer expired at the origin (fault runs only).
+    Timeout { req: ReqId },
+    /// A scheduled node (CHT + NIC) crash fires (fault runs only).
+    NodeCrash { node: NodeId },
 }
 
 /// An in-flight one-sided request.
@@ -67,6 +74,20 @@ struct Request {
     credit_held: bool,
     /// Slab liveness flag.
     live: bool,
+    /// Logical-operation sequence number: shared by every retransmission of
+    /// the same operation, unique per (origin, operation). The target-side
+    /// dedup table is keyed on `(origin, seq)`.
+    seq: u64,
+    /// Retransmission attempt this copy belongs to (0 = original send).
+    attempt: u32,
+    /// Escape buffer class of the hop currently in flight (0 unless
+    /// route-around descended; see `vt_core::ldf::route_avoiding_classed`).
+    vc_class: u8,
+    /// Next hop chosen at credit-acquire time, consumed at forward time so
+    /// the acquired credit and the sent hop can never disagree.
+    fwd_next: NodeId,
+    /// Escape class of the chosen next hop.
+    fwd_class: u8,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +106,11 @@ enum Phase {
     InBarrier,
     /// Program finished.
     Done,
+    /// The process's node crashed; the rank will never finish.
+    Lost,
+    /// An operation failed terminally (timed out / unreachable); the rank
+    /// stopped executing its program.
+    Failed,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -118,7 +144,13 @@ struct LockState {
     waiting: std::collections::VecDeque<ReqId>,
 }
 
-/// Why a simulation failed.
+/// Why a simulation — or, under fault injection, a single operation — failed.
+///
+/// `Deadlock` aborts the whole run. `Unreachable` and `TimedOut` are
+/// *per-operation* diagnostics produced by fault-tolerant runs: the issuing
+/// rank stops with phase `Failed`, the error is recorded in
+/// [`Report::failures`], and the rest of the job keeps running (graceful
+/// degradation — the availability number of the resilience experiment).
 #[derive(Debug)]
 pub enum SimError {
     /// The event queue drained while work was still blocked — a genuine
@@ -129,6 +161,37 @@ pub enum SimError {
         at: SimTime,
         /// Human-readable description of each blocked entity.
         blocked: Vec<String>,
+    },
+    /// No live route to the operation's target existed: the target node is
+    /// dead, or every legal route-around hop is dead.
+    Unreachable {
+        /// When the routing decision failed.
+        at: SimTime,
+        /// The issuing rank.
+        rank: Rank,
+        /// The operation's sequence number.
+        seq: u64,
+        /// The node the route was attempted from.
+        from: NodeId,
+        /// The unreachable target node.
+        to: NodeId,
+        /// The dead set at decision time.
+        dead: Vec<NodeId>,
+    },
+    /// An operation exhausted its retransmission budget without a response.
+    TimedOut {
+        /// When the final timer expired.
+        at: SimTime,
+        /// The issuing rank.
+        rank: Rank,
+        /// The operation's sequence number.
+        seq: u64,
+        /// Total attempts made (original send + retransmissions).
+        attempts: u32,
+        /// When the operation was first issued.
+        issued: SimTime,
+        /// The operation's target node.
+        target: NodeId,
     },
 }
 
@@ -145,6 +208,30 @@ impl std::fmt::Display for SimError {
                 }
                 write!(f, "]")
             }
+            SimError::Unreachable {
+                at,
+                rank,
+                seq,
+                from,
+                to,
+                dead,
+            } => write!(
+                f,
+                "{rank} op #{seq} unreachable at {at}: no live route from \
+                 node{from} to node{to} (dead: {dead:?})"
+            ),
+            SimError::TimedOut {
+                at,
+                rank,
+                seq,
+                attempts,
+                issued,
+                target,
+            } => write!(
+                f,
+                "{rank} op #{seq} to node{target} timed out at {at} after \
+                 {attempts} attempts (issued {issued})"
+            ),
         }
     }
 }
@@ -169,6 +256,37 @@ pub struct Report {
     /// The eight busiest physical links `(slot, direction, bytes)` —
     /// tree saturation around hot nodes made visible.
     pub top_links: Vec<(u32, u8, u64)>,
+    /// Fault-recovery activity (all zero without a fault plan).
+    pub faults: FaultStats,
+    /// Per-operation terminal failures (timed out / unreachable), in the
+    /// order they occurred.
+    pub failures: Vec<SimError>,
+    /// Ranks whose node crashed mid-run.
+    pub lost_ranks: Vec<u32>,
+}
+
+impl Report {
+    /// Fraction of ranks that completed their program (neither lost to a
+    /// crash nor failed on an operation) — the resilience experiment's
+    /// availability metric.
+    pub fn availability(&self) -> f64 {
+        let n = self.metrics.per_rank.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let failed: std::collections::HashSet<u32> = self
+            .failures
+            .iter()
+            .filter_map(|e| match e {
+                SimError::Unreachable { rank, .. } | SimError::TimedOut { rank, .. } => {
+                    Some(rank.0)
+                }
+                SimError::Deadlock { .. } => None,
+            })
+            .chain(self.lost_ranks.iter().copied())
+            .collect();
+        (n - failed.len()) as f64 / n as f64
+    }
 }
 
 /// The runtime engine. Use [`crate::Simulation`] for the friendly façade.
@@ -197,6 +315,38 @@ pub struct Engine {
     cht_pool_extra: Vec<SimTime>,
     /// Per-node accumulated CHT busy time (interference source).
     cht_busy_total: Vec<SimTime>,
+    /// The topology's grid shape (cached clone: route-around needs it while
+    /// the rest of the engine is mutably borrowed).
+    shape: Shape,
+    /// Node crashes scheduled by the fault plan.
+    crash_plan: Vec<NodeCrash>,
+    /// Nodes that have crashed so far, sorted (the route-around dead set).
+    dead: Vec<NodeId>,
+    /// Ranks lost to crashes / failed on an operation.
+    lost_count: u32,
+    failed_count: u32,
+    /// Next logical-operation sequence number.
+    next_seq: u64,
+    /// Origin-side completion set: `(rank, seq)` of every operation whose
+    /// first response arrived. Later (duplicate) responses and stale
+    /// timeouts check here. Fault runs only.
+    op_done: HashSet<(u32, u64)>,
+    /// Target-side dedup table for exactly-once execution of retried
+    /// non-idempotent operations. Fault runs only.
+    seen: HashMap<(u32, u64), DedupState>,
+    failures: Vec<SimError>,
+    faults: FaultStats,
+}
+
+/// Target-side record of an operation that already arrived at least once.
+#[derive(Clone, Copy, Debug)]
+enum DedupState {
+    /// The first copy is still being handled (e.g. a queued lock): drop
+    /// duplicates silently, the original will respond.
+    Pending,
+    /// The operation was applied and responded to with this value:
+    /// re-respond to duplicates without re-applying.
+    Done(Option<i64>),
 }
 
 impl Engine {
@@ -206,6 +356,21 @@ impl Engine {
     /// Panics if the configuration is invalid or `programs` does not have
     /// exactly one entry per rank.
     pub fn new(cfg: RuntimeConfig, programs: Vec<Box<dyn Program>>) -> Self {
+        Self::with_faults(cfg, programs, &FaultPlan::default())
+    }
+
+    /// Builds an engine that runs `cfg` under the deterministic fault
+    /// schedule `plan`. An empty plan produces an engine whose timeline is
+    /// byte-identical to [`Engine::new`]'s — the fault layer costs nothing
+    /// when disabled.
+    ///
+    /// # Panics
+    /// Panics if the configuration or the fault plan is invalid.
+    pub fn with_faults(
+        cfg: RuntimeConfig,
+        programs: Vec<Box<dyn Program>>,
+        plan: &FaultPlan,
+    ) -> Self {
         cfg.validate();
         assert_eq!(
             programs.len(),
@@ -215,7 +380,7 @@ impl Engine {
         let layout = Layout::new(cfg.n_procs, cfg.procs_per_node);
         let n_nodes = layout.num_nodes();
         let topo = cfg.topology.build(n_nodes);
-        let net = Network::new(cfg.net, n_nodes);
+        let net = Network::with_faults(cfg.net, n_nodes, plan);
         let procs = (0..cfg.n_procs)
             .map(|r| ProcState {
                 node: layout.node_of(Rank(r)),
@@ -238,6 +403,7 @@ impl Engine {
                 SimTime::from_nanos((mib * cfg.cht.cache_ns_per_pool_mib).round() as u64)
             })
             .collect();
+        let shape = topo.shape().clone();
         Engine {
             credits: CreditManager::new(cfg.buffers_per_proc),
             procs,
@@ -254,11 +420,33 @@ impl Engine {
             cht_busy_total: vec![SimTime::ZERO; n_nodes as usize],
             queue: EventQueue::new(),
             programs,
+            shape,
+            crash_plan: plan.node_crashes.clone(),
+            dead: Vec::new(),
+            lost_count: 0,
+            failed_count: 0,
+            next_seq: 0,
+            op_done: HashSet::new(),
+            seen: HashMap::new(),
+            failures: Vec::new(),
+            faults: FaultStats::default(),
             net,
             topo,
             layout,
             cfg,
         }
+    }
+
+    /// Whether a fault plan is active (gates every piece of recovery
+    /// machinery so fault-free runs schedule exactly the same events as
+    /// before the fault layer existed).
+    fn faults_on(&self) -> bool {
+        self.net.faults_enabled()
+    }
+
+    /// Ranks that can no longer enter the barrier or finish.
+    fn finished_count(&self) -> u32 {
+        self.done_count + self.lost_count + self.failed_count
     }
 
     /// The virtual topology in use.
@@ -278,12 +466,17 @@ impl Engine {
     /// work.
     pub fn run(mut self) -> Result<Report, SimError> {
         for r in 0..self.cfg.n_procs {
-            self.queue.schedule(SimTime::ZERO, Event::ProcReady(Rank(r)));
+            self.queue
+                .schedule(SimTime::ZERO, Event::ProcReady(Rank(r)));
+        }
+        let crashes = std::mem::take(&mut self.crash_plan);
+        for c in &crashes {
+            self.queue.schedule(c.at, Event::NodeCrash { node: c.node });
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.dispatch(now, ev);
         }
-        if self.done_count < self.cfg.n_procs {
+        if self.finished_count() < self.cfg.n_procs {
             return Err(self.deadlock_report());
         }
         let finish_time = self
@@ -303,6 +496,9 @@ impl Engine {
         }
         let memory_node0 = crate::memory::node_memory(&self.cfg, &self.topo, 0);
         let top_links = self.net.top_links(8);
+        let lost_ranks = (0..self.cfg.n_procs)
+            .filter(|&r| self.procs[r as usize].phase == Phase::Lost)
+            .collect();
         Ok(Report {
             finish_time,
             metrics: self.metrics,
@@ -311,6 +507,9 @@ impl Engine {
             memory_node0,
             events: self.queue.processed(),
             top_links,
+            faults: self.faults,
+            failures: self.failures,
+            lost_ranks,
         })
     }
 
@@ -321,7 +520,10 @@ impl Engine {
             .map(|(key, waiter)| format!("{waiter:?} on edge {:?}", key.edge))
             .collect();
         for (r, p) in self.procs.iter().enumerate() {
-            if p.phase != Phase::Done && p.phase != Phase::WaitingCredit {
+            if !matches!(
+                p.phase,
+                Phase::Done | Phase::WaitingCredit | Phase::Lost | Phase::Failed
+            ) {
                 blocked.push(format!("rank{r} stuck in {:?}", p.phase));
             }
         }
@@ -342,13 +544,18 @@ impl Engine {
             Event::ResponseArrive { req } => self.response_arrive(now, req),
             Event::NotifyArrive { target } => self.notify_rank(now, target),
             Event::BarrierRelease => self.barrier_release(now),
+            Event::Timeout { req } => self.timeout_fire(now, req),
+            Event::NodeCrash { node } => self.node_crash(now, node),
         }
     }
 
     // ----- process side ---------------------------------------------------
 
     fn proc_ready(&mut self, now: SimTime, rank: Rank) {
-        if self.procs[rank.idx()].phase == Phase::Done {
+        if matches!(
+            self.procs[rank.idx()].phase,
+            Phase::Done | Phase::Lost | Phase::Failed
+        ) {
             return;
         }
         self.procs[rank.idx()].phase = Phase::Running;
@@ -371,8 +578,8 @@ impl Engine {
                 // CHT interference: stretch compute by this process's share
                 // of the CHT busy time accrued since its last compute block.
                 let node = self.procs[rank.idx()].node;
-                let delta = self.cht_busy_total[node as usize]
-                    - self.procs[rank.idx()].cht_busy_seen;
+                let delta =
+                    self.cht_busy_total[node as usize] - self.procs[rank.idx()].cht_busy_seen;
                 self.procs[rank.idx()].cht_busy_seen = self.cht_busy_total[node as usize];
                 let steal = SimTime::from_nanos(
                     (delta.as_nanos() as f64 * self.cfg.cht.cht_interference
@@ -417,7 +624,7 @@ impl Engine {
         if self.barrier_scheduled || self.barrier_waiting.is_empty() {
             return;
         }
-        if self.barrier_waiting.len() as u32 + self.done_count == self.cfg.n_procs {
+        if self.barrier_waiting.len() as u32 + self.finished_count() == self.cfg.n_procs {
             let stages = 32 - (self.cfg.n_procs.max(2) - 1).leading_zeros();
             let latency = self.cfg.barrier_stage * u64::from(stages);
             self.barrier_scheduled = true;
@@ -446,14 +653,26 @@ impl Engine {
     fn free_request(&mut self, id: ReqId) {
         debug_assert!(self.requests[id as usize].live);
         self.requests[id as usize].live = false;
-        self.free_reqs.push(id);
+        // Under faults, slab ids are never reused: duplicate copies and
+        // stale timeouts may still reference an id after its operation
+        // completed, and a recycled slot would let them corrupt a newer
+        // request's state.
+        if !self.faults_on() {
+            self.free_reqs.push(id);
+        }
     }
 
     fn issue_op(&mut self, now: SimTime, rank: Rank, op: Op, blocking: bool) {
-        assert!(op.target.0 < self.cfg.n_procs, "op targets unknown {}", op.target);
+        assert!(
+            op.target.0 < self.cfg.n_procs,
+            "op targets unknown {}",
+            op.target
+        );
         let src_node = self.procs[rank.idx()].node;
         let target_node = self.layout.node_of(op.target);
         self.procs[rank.idx()].outstanding += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let req = self.alloc_request(Request {
             op,
             origin: rank,
@@ -466,6 +685,11 @@ impl Engine {
             resp_value: None,
             credit_held: false,
             live: true,
+            seq,
+            attempt: 0,
+            vc_class: 0,
+            fwd_next: src_node,
+            fwd_class: 0,
         });
 
         if target_node == src_node {
@@ -508,27 +732,62 @@ impl Engine {
         } else if op.kind.is_direct() {
             // RDMA path: request to the target NIC, hardware-level response.
             let t0 = now + self.cfg.issue_overhead;
-            let d1 = self.net.send(t0, src_node, target_node, op.request_bytes());
-            let d2 = self
-                .net
-                .send(d1.at, target_node, src_node, op.response_bytes());
-            self.queue.schedule(d2.at, Event::ResponseArrive { req });
-            if op.notify {
-                self.queue
-                    .schedule(d1.at, Event::NotifyArrive { target: op.target });
+            if self.faults_on() {
+                if self.net.node_dead(target_node, now) {
+                    self.rank_fail(now, rank, req);
+                    return;
+                }
+                self.send_direct(t0, req);
+                self.arm_timeout(t0, req);
+            } else {
+                let d1 = self.net.send(t0, src_node, target_node, op.request_bytes());
+                let d2 = self
+                    .net
+                    .send(d1.at, target_node, src_node, op.response_bytes());
+                self.queue.schedule(d2.at, Event::ResponseArrive { req });
+                if op.notify {
+                    self.queue
+                        .schedule(d1.at, Event::NotifyArrive { target: op.target });
+                }
             }
         } else {
             // CHT path over the virtual topology.
-            let first = self
-                .topo
-                .next_hop(src_node, target_node)
-                .expect("distinct nodes must have a next hop");
+            let first = if self.faults_on() {
+                match ldf::next_hop_avoiding(
+                    &self.shape,
+                    self.layout.num_nodes(),
+                    src_node,
+                    target_node,
+                    &self.dead,
+                ) {
+                    HopDecision::Hop(h) => {
+                        if self.topo.next_hop(src_node, target_node) != Some(h) {
+                            self.faults.reroutes += 1;
+                        }
+                        h
+                    }
+                    HopDecision::Unreachable => {
+                        self.rank_fail(now, rank, req);
+                        return;
+                    }
+                    HopDecision::Arrived => unreachable!("distinct nodes"),
+                }
+            } else {
+                self.topo
+                    .next_hop(src_node, target_node)
+                    .expect("distinct nodes must have a next hop")
+            };
             let key = CreditKey {
                 sender: Sender::Proc(rank),
                 edge: (src_node, first),
+                class: 0,
             };
+            self.requests[req as usize].fwd_next = first;
+            self.requests[req as usize].fwd_class = 0;
             if self.credits.try_acquire(key) {
-                self.send_request(now + self.cfg.issue_overhead, req, src_node, first);
+                let t0 = now + self.cfg.issue_overhead;
+                self.send_request(t0, req, src_node, first);
+                self.arm_timeout(t0, req);
             } else {
                 self.credits.wait(key, Waiter::Proc(rank));
                 self.procs[rank.idx()].pending = Some(PendingIssue {
@@ -544,11 +803,135 @@ impl Engine {
         }
     }
 
-    /// Puts a request on the wire towards `to` at time `at`.
+    /// Fails `rank`'s in-flight operation `req` as unreachable: records the
+    /// diagnostic and stops the rank (graceful degradation).
+    fn rank_fail(&mut self, now: SimTime, rank: Rank, req: ReqId) {
+        let r = self.requests[req as usize];
+        self.fail_with(
+            now,
+            rank,
+            SimError::Unreachable {
+                at: now,
+                rank,
+                seq: r.seq,
+                from: r.origin_node,
+                to: r.target_node,
+                dead: self.dead.clone(),
+            },
+        );
+    }
+
+    /// Marks `rank` terminally failed with `err` unless it already finished.
+    fn fail_with(&mut self, now: SimTime, rank: Rank, err: SimError) {
+        self.faults.failed_ops += 1;
+        let phase = self.procs[rank.idx()].phase;
+        if matches!(phase, Phase::Done | Phase::Lost | Phase::Failed) {
+            // The rank already finished or died; keep the diagnostic only.
+            self.failures.push(err);
+            return;
+        }
+        if phase == Phase::InBarrier {
+            self.barrier_waiting.retain(|&r| r != rank);
+        }
+        self.procs[rank.idx()].phase = Phase::Failed;
+        self.failed_count += 1;
+        self.failures.push(err);
+        self.maybe_release_barrier(now);
+    }
+
+    /// Arms the per-request response timer for `req`'s current attempt.
+    fn arm_timeout(&mut self, now: SimTime, req: ReqId) {
+        if !self.faults_on() {
+            return;
+        }
+        let attempt = self.requests[req as usize].attempt;
+        let deadline = now + self.cfg.retry.deadline(attempt);
+        self.queue.schedule(deadline, Event::Timeout { req });
+    }
+
+    /// Sends a direct (RDMA-path) request under faults: dropped messages
+    /// are simply lost — the origin's timer recovers them.
+    fn send_direct(&mut self, t0: SimTime, req: ReqId) {
+        let r = self.requests[req as usize];
+        match self
+            .net
+            .send_faulted(t0, r.origin_node, r.target_node, r.op.request_bytes())
+        {
+            SendOutcome::Dropped { .. } => {}
+            SendOutcome::Delivered(d1) => {
+                if r.op.notify {
+                    // Exactly-once notification across retransmissions.
+                    let fresh = self
+                        .seen
+                        .insert((r.origin.0, r.seq), DedupState::Pending)
+                        .is_none();
+                    if fresh {
+                        self.queue.schedule(
+                            d1.at,
+                            Event::NotifyArrive {
+                                target: r.op.target,
+                            },
+                        );
+                    } else {
+                        self.faults.dedup_hits += 1;
+                    }
+                }
+                match self.net.send_faulted(
+                    d1.at,
+                    r.target_node,
+                    r.origin_node,
+                    r.op.response_bytes(),
+                ) {
+                    SendOutcome::Dropped { .. } => {}
+                    SendOutcome::Delivered(d2) => {
+                        self.queue.schedule(d2.at, Event::ResponseArrive { req });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Puts a request on the wire towards `to` at time `at`. Under faults a
+    /// dropped copy schedules a delayed reclaim of the hop's buffer credit
+    /// (the upstream sender's local ack-timeout); the origin's response
+    /// timer recovers the operation itself.
     fn send_request(&mut self, at: SimTime, req: ReqId, from: NodeId, to: NodeId) {
         let bytes = self.requests[req as usize].op.request_bytes();
-        let d = self.net.send(at, from, to, bytes);
-        self.queue.schedule(d.at, Event::RequestArrive { req, node: to });
+        if !self.faults_on() {
+            let d = self.net.send(at, from, to, bytes);
+            self.queue
+                .schedule(d.at, Event::RequestArrive { req, node: to });
+            return;
+        }
+        match self.net.send_faulted(at, from, to, bytes) {
+            SendOutcome::Delivered(d) => {
+                self.queue
+                    .schedule(d.at, Event::RequestArrive { req, node: to });
+            }
+            SendOutcome::Dropped { at: drop_at, .. } => {
+                let r = self.requests[req as usize];
+                self.reclaim_later(
+                    drop_at,
+                    CreditKey {
+                        sender: r.prev_sender,
+                        edge: (from, to),
+                        class: r.vc_class,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Schedules a delayed credit release modelling the upstream sender's
+    /// local buffer-reclaim timer: the request copy holding the credit was
+    /// destroyed (dropped message or crashed node), so no ack will ever
+    /// come back for it.
+    fn reclaim_later(&mut self, destroyed_at: SimTime, key: CreditKey) {
+        self.faults.reclaims += 1;
+        self.queue.schedule(
+            destroyed_at + self.cfg.retry.timeout,
+            Event::AckArrive { key },
+        );
     }
 
     // ----- server side ----------------------------------------------------
@@ -563,6 +946,9 @@ impl Engine {
     /// downstream credit is exhausted (they keep their upstream buffer) and
     /// starts the first serviceable request, if any.
     fn cht_try_start(&mut self, now: SimTime, node: NodeId) {
+        if self.faults_on() && self.net.node_dead(node, now) {
+            return;
+        }
         if self.chts[node as usize].is_busy() {
             return;
         }
@@ -570,14 +956,60 @@ impl Engine {
             let r = self.requests[req as usize];
             let terminal = r.target_node == node;
             if !terminal && !r.credit_held {
-                let next = self
-                    .topo
-                    .next_hop(node, r.target_node)
-                    .expect("forwarding implies a next hop");
+                let (next, class) = if self.faults_on() {
+                    match ldf::next_hop_avoiding(
+                        &self.shape,
+                        self.layout.num_nodes(),
+                        node,
+                        r.target_node,
+                        &self.dead,
+                    ) {
+                        HopDecision::Hop(h) => {
+                            if self.topo.next_hop(node, r.target_node) != Some(h) {
+                                self.faults.reroutes += 1;
+                            }
+                            // Escape-class escalation: a hop crossing a
+                            // lower dimension than the one the request
+                            // arrived on is a descent and moves the request
+                            // into the next buffer class (keeps the
+                            // dependency graph acyclic; see vt-core::ldf).
+                            let in_dim = ldf::crossing_dim(&self.shape, r.prev_node, node);
+                            let out_dim = ldf::crossing_dim(&self.shape, node, h);
+                            let class = if out_dim < in_dim {
+                                r.vc_class + 1
+                            } else {
+                                r.vc_class
+                            };
+                            (h, class)
+                        }
+                        HopDecision::Unreachable => {
+                            // No live next hop: discard the copy, free the
+                            // upstream buffer with a real ack, and let the
+                            // origin's timer deal with the operation.
+                            self.faults.unreachable += 1;
+                            self.chts[node as usize].pop_head();
+                            self.ack_upstream(now, node, req);
+                            continue;
+                        }
+                        HopDecision::Arrived => unreachable!("non-terminal request"),
+                    }
+                } else {
+                    (
+                        self.topo
+                            .next_hop(node, r.target_node)
+                            .expect("forwarding implies a next hop"),
+                        0,
+                    )
+                };
                 let key = CreditKey {
                     sender: Sender::Cht(node),
                     edge: (node, next),
+                    class,
                 };
+                // Remember the choice: the forward after service must use
+                // exactly the edge and class the credit was acquired on.
+                self.requests[req as usize].fwd_next = next;
+                self.requests[req as usize].fwd_class = class;
                 if !self.credits.try_acquire(key) {
                     // Park: set the request aside until an ack returns a
                     // credit, and keep draining the queue.
@@ -607,21 +1039,88 @@ impl Engine {
         }
     }
 
+    /// Returns the upstream sender's buffer credit for `req`'s last hop
+    /// into `node` with an explicit ack message.
+    fn ack_upstream(&mut self, now: SimTime, node: NodeId, req: ReqId) {
+        let r = self.requests[req as usize];
+        let up_key = CreditKey {
+            sender: r.prev_sender,
+            edge: (r.prev_node, node),
+            class: r.vc_class,
+        };
+        if !self.faults_on() {
+            let ack = self.net.send(now, node, r.prev_node, Op::ack_bytes());
+            self.queue
+                .schedule(ack.at, Event::AckArrive { key: up_key });
+            return;
+        }
+        match self
+            .net
+            .send_faulted(now, node, r.prev_node, Op::ack_bytes())
+        {
+            SendOutcome::Delivered(ack) => {
+                self.queue
+                    .schedule(ack.at, Event::AckArrive { key: up_key });
+            }
+            // A lost ack still frees the buffer eventually: the upstream
+            // sender's reclaim timer fires instead.
+            SendOutcome::Dropped { at, .. } => self.reclaim_later(at, up_key),
+        }
+    }
+
     fn cht_done(&mut self, now: SimTime, node: NodeId, req: ReqId) {
+        if self.faults_on() && self.net.node_dead(node, now) {
+            // The node died while this request was in service: the copy is
+            // destroyed with it, and the upstream buffer is reclaimed by
+            // its owner's local timer.
+            let r = self.requests[req as usize];
+            self.reclaim_later(
+                now,
+                CreditKey {
+                    sender: r.prev_sender,
+                    edge: (r.prev_node, node),
+                    class: r.vc_class,
+                },
+            );
+            return;
+        }
         self.chts[node as usize].end_service(now);
         let r = self.requests[req as usize];
 
         // Return the upstream sender's buffer credit with an explicit ack.
-        let up_key = CreditKey {
-            sender: r.prev_sender,
-            edge: (r.prev_node, node),
-        };
-        let ack = self.net.send(now, node, r.prev_node, Op::ack_bytes());
-        self.queue.schedule(ack.at, Event::AckArrive { key: up_key });
+        self.ack_upstream(now, node, req);
 
         if r.target_node == node {
             // Terminal service: apply and respond directly to the origin.
             self.chts[node as usize].counters.serviced += 1;
+            if self.faults_on() {
+                // Target-side dedup: retried non-idempotent operations must
+                // execute exactly once even when an earlier copy got
+                // through and only its response was lost.
+                match self.seen.get(&(r.origin.0, r.seq)).copied() {
+                    Some(DedupState::Done(value)) => {
+                        self.faults.dedup_hits += 1;
+                        self.requests[req as usize].resp_value = value;
+                        self.respond(now, req);
+                        if self.chts[node as usize].queue_len() > 0 {
+                            self.queue.schedule(now, Event::ChtTryStart { node });
+                        }
+                        return;
+                    }
+                    Some(DedupState::Pending) => {
+                        // The first copy is still queued (e.g. on a lock):
+                        // swallow the duplicate, the original will respond.
+                        self.faults.dedup_hits += 1;
+                        if self.chts[node as usize].queue_len() > 0 {
+                            self.queue.schedule(now, Event::ChtTryStart { node });
+                        }
+                        return;
+                    }
+                    None => {
+                        self.seen.insert((r.origin.0, r.seq), DedupState::Pending);
+                    }
+                }
+            }
             if r.op.notify {
                 self.notify_rank(now, r.op.target);
             }
@@ -656,15 +1155,13 @@ impl Engine {
                 _ => self.respond(now, req),
             }
         } else {
-            // Forward one LDF hop (the credit was acquired at service start).
-            let next = self
-                .topo
-                .next_hop(node, r.target_node)
-                .expect("forwarding implies a next hop");
+            // Forward the hop chosen (and credited) at service start.
+            let next = r.fwd_next;
             self.chts[node as usize].counters.forwarded += 1;
             let slot = &mut self.requests[req as usize];
             slot.prev_sender = Sender::Cht(node);
             slot.prev_node = node;
+            slot.vc_class = slot.fwd_class;
             self.send_request(now, req, node, next);
         }
 
@@ -676,9 +1173,28 @@ impl Engine {
     /// Sends `req`'s response from its target node to its origin.
     fn respond(&mut self, now: SimTime, req: ReqId) {
         let r = self.requests[req as usize];
+        if self.faults_on() {
+            // Record the applied result so duplicates of this operation can
+            // be re-answered without re-applying it.
+            self.seen
+                .insert((r.origin.0, r.seq), DedupState::Done(r.resp_value));
+        }
         if r.target_node == r.origin_node {
             let at = now + self.net.config().shm_latency;
             self.queue.schedule(at, Event::ResponseArrive { req });
+        } else if self.faults_on() {
+            match self
+                .net
+                .send_faulted(now, r.target_node, r.origin_node, r.op.response_bytes())
+            {
+                SendOutcome::Delivered(resp) => {
+                    self.queue.schedule(resp.at, Event::ResponseArrive { req });
+                }
+                // A lost response is recovered by the origin's timer; the
+                // retransmitted request will hit the dedup table and be
+                // re-answered.
+                SendOutcome::Dropped { .. } => {}
+            }
         } else {
             let resp = self
                 .net
@@ -723,6 +1239,14 @@ impl Engine {
         match self.credits.release(key) {
             None => {}
             Some(Waiter::Proc(rank)) => {
+                if self.faults_on()
+                    && matches!(self.procs[rank.idx()].phase, Phase::Lost | Phase::Failed)
+                {
+                    // The waiter died while blocked: pass the credit on.
+                    self.procs[rank.idx()].pending = None;
+                    self.ack_arrive(now, key);
+                    return;
+                }
                 // The credit transferred to the blocked process: send its
                 // pending request now.
                 let pending = self.procs[rank.idx()]
@@ -732,6 +1256,7 @@ impl Engine {
                 let node = self.procs[rank.idx()].node;
                 debug_assert_eq!(key.edge, (node, pending.first_hop));
                 self.send_request(now, pending.req, node, pending.first_hop);
+                self.arm_timeout(now, pending.req);
                 if self.requests[pending.req as usize].blocking {
                     self.procs[rank.idx()].phase = Phase::WaitingResponse;
                 } else {
@@ -741,6 +1266,22 @@ impl Engine {
                 }
             }
             Some(Waiter::Fwd { node, req }) => {
+                if self.faults_on() && self.net.node_dead(node, now) {
+                    // The forwarder died while parked: the copy it held is
+                    // gone. Reclaim its upstream buffer and pass the
+                    // just-granted downstream credit on.
+                    let r = self.requests[req as usize];
+                    self.reclaim_later(
+                        now,
+                        CreditKey {
+                            sender: r.prev_sender,
+                            edge: (r.prev_node, node),
+                            class: r.vc_class,
+                        },
+                    );
+                    self.ack_arrive(now, key);
+                    return;
+                }
                 // The parked forward now holds its downstream credit; put it
                 // back at the front of the queue (it is the oldest work).
                 self.requests[req as usize].credit_held = true;
@@ -748,13 +1289,40 @@ impl Engine {
                     self.queue.schedule(now, Event::ChtTryStart { node });
                 }
             }
+            Some(Waiter::Retry { req }) => {
+                let r = self.requests[req as usize];
+                if self.op_done.contains(&(r.origin.0, r.seq))
+                    || matches!(
+                        self.procs[r.origin.idx()].phase,
+                        Phase::Lost | Phase::Failed
+                    )
+                {
+                    // The operation resolved while the retry waited.
+                    self.ack_arrive(now, key);
+                    return;
+                }
+                debug_assert_eq!(key.edge, (r.origin_node, r.fwd_next));
+                self.send_request(now, req, r.origin_node, r.fwd_next);
+            }
         }
     }
 
     fn response_arrive(&mut self, now: SimTime, req: ReqId) {
         let r = self.requests[req as usize];
-        debug_assert!(r.live);
         let rank = r.origin;
+        if self.faults_on() {
+            if !self.op_done.insert((rank.0, r.seq)) {
+                // A duplicate response (an earlier attempt already
+                // completed this operation): first one won, drop this.
+                return;
+            }
+            if matches!(self.procs[rank.idx()].phase, Phase::Lost | Phase::Failed) {
+                // The origin died or gave up on another operation before
+                // this response landed.
+                return;
+            }
+        }
+        debug_assert!(r.live);
         let proc = &mut self.procs[rank.idx()];
         proc.outstanding -= 1;
         proc.completed_ops += 1;
@@ -767,6 +1335,139 @@ impl Engine {
         if r.blocking || fencing_done {
             self.queue.schedule(now, Event::ProcReady(rank));
         }
+    }
+
+    // ----- fault recovery -------------------------------------------------
+
+    /// A per-request response timer expired: retransmit with backoff, or
+    /// fail the operation once the retry budget is spent.
+    fn timeout_fire(&mut self, now: SimTime, req: ReqId) {
+        let r = self.requests[req as usize];
+        if self.op_done.contains(&(r.origin.0, r.seq)) {
+            return; // Stale: the operation completed in time.
+        }
+        if matches!(
+            self.procs[r.origin.idx()].phase,
+            Phase::Lost | Phase::Failed | Phase::Done
+        ) {
+            return; // The origin is gone; nobody is waiting.
+        }
+        self.faults.timeouts += 1;
+        if r.attempt >= self.cfg.retry.max_retries {
+            self.fail_with(
+                now,
+                r.origin,
+                SimError::TimedOut {
+                    at: now,
+                    rank: r.origin,
+                    seq: r.seq,
+                    attempts: r.attempt + 1,
+                    issued: r.issued,
+                    target: r.target_node,
+                },
+            );
+            return;
+        }
+        self.retransmit(now, req);
+    }
+
+    /// Clones `req` into a fresh slab slot for the next attempt (same
+    /// sequence number — the dedup key) and re-issues it from the origin.
+    fn retransmit(&mut self, now: SimTime, req: ReqId) {
+        self.faults.retries += 1;
+        let old = self.requests[req as usize];
+        let rank = old.origin;
+        let new_req = self.alloc_request(Request {
+            prev_sender: Sender::Proc(rank),
+            prev_node: old.origin_node,
+            resp_value: None,
+            credit_held: false,
+            live: true,
+            attempt: old.attempt + 1,
+            vc_class: 0,
+            fwd_next: old.origin_node,
+            fwd_class: 0,
+            ..old
+        });
+        // The timer for the new attempt starts now and covers any time the
+        // retransmit spends waiting for a first-hop credit.
+        self.arm_timeout(now, new_req);
+        if old.op.kind.is_direct() {
+            if self.net.node_dead(old.target_node, now) {
+                self.rank_fail(now, rank, new_req);
+                return;
+            }
+            self.send_direct(now, new_req);
+            return;
+        }
+        match ldf::next_hop_avoiding(
+            &self.shape,
+            self.layout.num_nodes(),
+            old.origin_node,
+            old.target_node,
+            &self.dead,
+        ) {
+            HopDecision::Hop(first) => {
+                if self.topo.next_hop(old.origin_node, old.target_node) != Some(first) {
+                    self.faults.reroutes += 1;
+                }
+                self.requests[new_req as usize].fwd_next = first;
+                let key = CreditKey {
+                    sender: Sender::Proc(rank),
+                    edge: (old.origin_node, first),
+                    class: 0,
+                };
+                if self.credits.try_acquire(key) {
+                    self.send_request(now, new_req, old.origin_node, first);
+                } else {
+                    // Unlike an initial issue the process is already
+                    // blocked (or running async work): queue the retry
+                    // itself rather than the process.
+                    self.credits.wait(key, Waiter::Retry { req: new_req });
+                }
+            }
+            HopDecision::Unreachable => self.rank_fail(now, rank, new_req),
+            HopDecision::Arrived => unreachable!("remote op"),
+        }
+    }
+
+    /// A scheduled node crash fires: the node's CHT, NIC and resident ranks
+    /// die. Queued requests on the node are destroyed (their upstream
+    /// buffers come back via reclaim timers) and in-flight traffic to the
+    /// node is dropped by the network layer from here on.
+    fn node_crash(&mut self, now: SimTime, node: NodeId) {
+        self.net.kill_node(node);
+        if let Err(pos) = self.dead.binary_search(&node) {
+            self.dead.insert(pos, node);
+        }
+        for r in 0..self.cfg.n_procs {
+            let rank = Rank(r);
+            if self.layout.node_of(rank) != node {
+                continue;
+            }
+            let phase = self.procs[rank.idx()].phase;
+            if matches!(phase, Phase::Done | Phase::Lost | Phase::Failed) {
+                continue;
+            }
+            if phase == Phase::InBarrier {
+                self.barrier_waiting.retain(|&w| w != rank);
+            }
+            self.procs[rank.idx()].phase = Phase::Lost;
+            self.procs[rank.idx()].pending = None;
+            self.lost_count += 1;
+        }
+        while let Some(req) = self.chts[node as usize].pop_head() {
+            let r = self.requests[req as usize];
+            self.reclaim_later(
+                now,
+                CreditKey {
+                    sender: r.prev_sender,
+                    edge: (r.prev_node, node),
+                    class: r.vc_class,
+                },
+            );
+        }
+        self.maybe_release_barrier(now);
     }
 }
 
@@ -782,10 +1483,7 @@ mod tests {
         cfg
     }
 
-    fn run_all(
-        cfg: RuntimeConfig,
-        mk: impl Fn(Rank) -> Box<dyn Program>,
-    ) -> Report {
+    fn run_all(cfg: RuntimeConfig, mk: impl Fn(Rank) -> Box<dyn Program>) -> Report {
         let programs = (0..cfg.n_procs).map(|r| mk(Rank(r))).collect();
         Engine::new(cfg, programs).run().expect("no deadlock")
     }
@@ -1018,7 +1716,11 @@ mod tests {
         lat.sort_unstable();
         // One immediate grant, one delayed by at least the 1 ms hold.
         assert!(lat[0] < SimTime::from_millis(1));
-        assert!(lat[1] >= SimTime::from_millis(1), "second lock {:?}", lat[1]);
+        assert!(
+            lat[1] >= SimTime::from_millis(1),
+            "second lock {:?}",
+            lat[1]
+        );
         // Both critical sections completed: 2 locks + 2 unlocks.
         assert_eq!(report.metrics.total_ops(), 4);
     }
@@ -1146,6 +1848,223 @@ mod tests {
             }
         });
         assert!(report.metrics.per_rank[0].done_at >= SimTime::from_millis(2));
+    }
+
+    fn run_all_faulted(
+        cfg: RuntimeConfig,
+        plan: &FaultPlan,
+        mk: impl Fn(Rank) -> Box<dyn Program>,
+    ) -> Report {
+        let programs = (0..cfg.n_procs).map(|r| mk(Rank(r))).collect();
+        Engine::with_faults(cfg, programs, plan)
+            .run()
+            .expect("fault run must terminate cleanly")
+    }
+
+    /// A non-empty plan that injects nothing: probability-zero drop window.
+    /// Enables the whole recovery machinery without perturbing traffic.
+    fn inert_plan() -> FaultPlan {
+        FaultPlan::new().drop_window(SimTime::ZERO, SimTime::from_secs(3600), 0.0)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        let mk = |r: Rank| -> Box<dyn Program> {
+            Box::new(ScriptProgram::new(vec![
+                Action::Op(Op::put_v(Rank((r.0 + 3) % 16), 4, 768)),
+                Action::Barrier,
+                Action::Op(Op::fetch_add(Rank(0), 1)),
+            ]))
+        };
+        let a = run_all(small_cfg(16, TopologyKind::Cfcg), mk);
+        let b = run_all_faulted(small_cfg(16, TopologyKind::Cfcg), &FaultPlan::default(), mk);
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.metrics.mean_latency_by_rank_us(),
+            b.metrics.mean_latency_by_rank_us()
+        );
+        assert_eq!(b.faults, crate::metrics::FaultStats::default());
+        assert!(b.failures.is_empty());
+        assert_eq!(b.availability(), 1.0);
+    }
+
+    #[test]
+    fn forwarder_crash_is_routed_around() {
+        // 3x3 MFCG at 1 ppn: the healthy route 8 -> 0 forwards through
+        // node 6. Kill node 6 before the op issues: the request must escape
+        // through node 2 instead and still execute exactly once.
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 6);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(8) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Compute(SimTime::from_millis(1)),
+                    Action::Op(Op::fetch_add(Rank(0), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![Action::Compute(
+                    SimTime::from_millis(2),
+                )]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[8].ops, 1);
+        assert!(report.faults.reroutes >= 1, "{:?}", report.faults);
+        assert_eq!(report.cht_totals.serviced, 1);
+        assert_eq!(report.lost_ranks, vec![6]);
+        assert!(report.failures.is_empty());
+        let expected = (9.0 - 1.0) / 9.0;
+        assert!((report.availability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_target_is_reported_unreachable() {
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 0);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(8) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Compute(SimTime::from_millis(1)),
+                    Action::Op(Op::fetch_add(Rank(0), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![Action::Compute(
+                    SimTime::from_millis(2),
+                )]))
+            }
+        });
+        assert_eq!(report.failures.len(), 1);
+        let msg = report.failures[0].to_string();
+        assert!(msg.contains("unreachable"), "unexpected: {msg}");
+        assert!(msg.contains("node0"), "diagnostic names the target: {msg}");
+        assert_eq!(report.faults.failed_ops, 1);
+        // Rank 0 lost with its node, rank 8 failed: 7 of 9 available.
+        let expected = (9.0 - 2.0) / 9.0;
+        assert!((report.availability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_request_is_retransmitted_with_backoff() {
+        // A probability-1 drop window swallows the first attempt; it closes
+        // before the first retransmission (issue + timeout = ~5 ms), so the
+        // retry gets through and the op completes.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new().drop_window(SimTime::ZERO, SimTime::from_millis(2), 1.0);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::acc(Rank(0), 2048))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[1].ops, 1);
+        assert!(report.faults.retries >= 1, "{:?}", report.faults);
+        assert!(report.net.dropped >= 1);
+        assert!(report.failures.is_empty());
+        // The drop cost at least one 5 ms timeout round.
+        assert!(report.finish_time >= SimTime::from_millis(5));
+        // Buffer credits held by the dropped copy were reclaimed.
+        assert!(report.faults.reclaims >= 1);
+    }
+
+    #[test]
+    fn premature_timeout_duplicates_are_deduplicated() {
+        // A timeout shorter than the op's round trip guarantees a
+        // retransmission even though nothing was dropped: both copies reach
+        // the target, the dedup table must apply the fetch-&-add exactly
+        // once, and the running counter seen by back-to-back ops proves it.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        cfg.retry.timeout = SimTime::from_micros(15);
+        cfg.retry.max_retries = 8;
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::<i64>::new()));
+        let programs: Vec<Box<dyn Program>> = (0..2)
+            .map(|_| {
+                let seen = seen.clone();
+                let mut fired = 0;
+                Box::new(ClosureProgram::new(move |ctx: &ProcCtx| {
+                    if ctx.rank == Rank(0) {
+                        return Action::Done;
+                    }
+                    if let Some(v) = ctx.last_fetch {
+                        let mut s = seen.lock().unwrap();
+                        if s.len() < fired {
+                            s.push(v);
+                        }
+                    }
+                    if fired < 2 {
+                        fired += 1;
+                        return Action::Op(Op::fetch_add(Rank(0), 1));
+                    }
+                    if let Some(v) = ctx.last_fetch {
+                        let mut s = seen.lock().unwrap();
+                        if s.len() < 2 {
+                            s.push(v);
+                        }
+                    }
+                    Action::Done
+                })) as Box<dyn Program>
+            })
+            .collect();
+        let report = Engine::with_faults(cfg, programs, &inert_plan())
+            .run()
+            .unwrap();
+        assert!(report.faults.retries >= 1, "{:?}", report.faults);
+        assert!(report.faults.dedup_hits >= 1, "{:?}", report.faults);
+        // Exactly-once: the second fetch sees 1, not the duplicate-inflated
+        // counter.
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1]);
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn barrier_releases_despite_lost_ranks() {
+        // Node 1 (ranks 4..8) dies at 1 ms; the survivors' barrier must
+        // still release instead of waiting for the dead forever.
+        let cfg = small_cfg(8, TopologyKind::Fcg);
+        let plan = FaultPlan::new().crash_node(SimTime::from_millis(1), 1);
+        let report = run_all_faulted(cfg, &plan, |_| {
+            Box::new(ScriptProgram::new(vec![
+                Action::Compute(SimTime::from_millis(2)),
+                Action::Barrier,
+            ]))
+        });
+        assert_eq!(report.lost_ranks, vec![4, 5, 6, 7]);
+        for r in 0..4 {
+            assert!(report.metrics.per_rank[r].done_at >= SimTime::from_millis(2));
+        }
+        assert!((report.availability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mk = |r: Rank| -> Box<dyn Program> {
+            Box::new(ScriptProgram::new(vec![
+                Action::Compute(SimTime::from_micros(u64::from(r.0) * 7)),
+                Action::Op(Op::fetch_add(Rank(0), 1)),
+                Action::Op(Op::put_v(Rank(0), 2, 512)),
+            ]))
+        };
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(40), 3)
+            .drop_window(SimTime::ZERO, SimTime::from_millis(1), 0.4);
+        let run = || {
+            let mut cfg = small_cfg(16, TopologyKind::Hypercube);
+            cfg.procs_per_node = 1;
+            run_all_faulted(cfg, &plan, mk)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.lost_ranks, b.lost_ranks);
+        assert_eq!(a.failures.len(), b.failures.len());
     }
 
     #[test]

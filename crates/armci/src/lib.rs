@@ -20,6 +20,16 @@
 //!   topology (paper §II).
 //! * **Workloads** ([`workload`]) — per-rank [`Program`]s built from
 //!   blocking/async one-sided [`Op`]s, compute blocks, fences and barriers.
+//! * **Self-healing under faults** — when a [`FaultPlan`] is installed
+//!   ([`Simulation::with_faults`](Simulation)), every remote operation
+//!   carries a sequence number and a per-request timer: lost messages are
+//!   retransmitted with exponential backoff ([`RetryConfig`]), a
+//!   target-side dedup table keeps retried fetch-&-add / accumulate / lock
+//!   requests exactly-once, forwarding routes around dead nodes with
+//!   escape-class buffers that provably keep the credit-dependency graph
+//!   acyclic, and unrecoverable operations degrade gracefully into
+//!   [`SimError::Unreachable`] / [`SimError::TimedOut`] diagnostics plus
+//!   [`FaultStats`] counters instead of hanging the job.
 //! * **Measurement** ([`metrics`], [`memory`]) — per-rank latency series
 //!   (Figs. 6/7), runtime memory accounting (Fig. 5) and network/CHT
 //!   counters.
@@ -44,16 +54,16 @@ pub mod sim;
 pub mod trace;
 pub mod workload;
 
-pub use config::{ChtConfig, RuntimeConfig};
+pub use config::{ChtConfig, RetryConfig, RuntimeConfig};
 pub use engine::{Report, SimError};
 pub use ids::{NodeId, Rank, Sender};
 pub use layout::Layout;
 pub use memory::{node_memory, NodeMemory};
-pub use metrics::{Metrics, OpRecord, RankStats};
+pub use metrics::{FaultStats, Metrics, OpRecord, RankStats};
 pub use ops::{Op, OpKind};
 pub use sim::Simulation;
 pub use workload::{Action, ClosureProgram, IdleProgram, ProcCtx, Program, ScriptProgram};
 
 // Re-exported so workloads don't need a direct vt-simnet dependency for
-// time arithmetic.
-pub use vt_simnet::SimTime;
+// time arithmetic or fault scheduling.
+pub use vt_simnet::{FaultPlan, SimTime};

@@ -37,6 +37,28 @@ pub struct RankStats {
     pub done_at: SimTime,
 }
 
+/// Fault-recovery activity counters. All zero on a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Retransmissions issued after a response timeout.
+    pub retries: u64,
+    /// Timeout events that found their operation still incomplete
+    /// (`retries` + operations that exhausted their retry budget).
+    pub timeouts: u64,
+    /// Forwarding decisions that deviated from the healthy LDF next hop to
+    /// route around a dead node.
+    pub reroutes: u64,
+    /// Duplicate requests suppressed by the target-side dedup table.
+    pub dedup_hits: u64,
+    /// Buffer credits reclaimed by the local ack-timeout after a message
+    /// drop or node crash destroyed the request copy that held them.
+    pub reclaims: u64,
+    /// Requests discarded at a forwarder because no live next hop existed.
+    pub unreachable: u64,
+    /// Operations that failed terminally (timed out or unreachable).
+    pub failed_ops: u64,
+}
+
 /// All measurements from one simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {

@@ -4,6 +4,7 @@ use crate::config::RuntimeConfig;
 use crate::engine::{Engine, Report, SimError};
 use crate::ids::Rank;
 use crate::workload::Program;
+use vt_simnet::FaultPlan;
 
 /// A configured ARMCI job ready to run.
 ///
@@ -39,8 +40,33 @@ impl Simulation {
         }
     }
 
+    /// Builds a simulation that runs under the deterministic fault schedule
+    /// `plan`. With an empty plan the timeline is byte-identical to
+    /// [`Simulation::new`]'s.
+    ///
+    /// # Panics
+    /// Panics if the configuration or fault plan is invalid.
+    pub fn with_faults(
+        cfg: RuntimeConfig,
+        programs: Vec<Box<dyn Program>>,
+        plan: &FaultPlan,
+    ) -> Self {
+        Simulation {
+            engine: Engine::with_faults(cfg, programs, plan),
+        }
+    }
+
     /// Builds a simulation from a per-rank program constructor.
-    pub fn build<P, F>(cfg: RuntimeConfig, mut mk: F) -> Self
+    pub fn build<P, F>(cfg: RuntimeConfig, mk: F) -> Self
+    where
+        P: Program + 'static,
+        F: FnMut(Rank) -> P,
+    {
+        Self::build_with_faults(cfg, mk, &FaultPlan::default())
+    }
+
+    /// [`Simulation::build`] under a fault schedule.
+    pub fn build_with_faults<P, F>(cfg: RuntimeConfig, mut mk: F, plan: &FaultPlan) -> Self
     where
         P: Program + 'static,
         F: FnMut(Rank) -> P,
@@ -48,7 +74,7 @@ impl Simulation {
         let programs = (0..cfg.n_procs)
             .map(|r| Box::new(mk(Rank(r))) as Box<dyn Program>)
             .collect();
-        Self::new(cfg, programs)
+        Self::with_faults(cfg, programs, plan)
     }
 
     /// The virtual topology the job runs over.

@@ -2,7 +2,9 @@
 //! offline analysis of simulation runs.
 
 use crate::engine::Report;
-use std::io::{self, Write};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 
 /// Writes the full operation trace as CSV (`rank,kind,issued_us,
 /// completed_us,latency_us`). Requires the run to have had
@@ -44,6 +46,71 @@ pub fn write_rank_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()>
     Ok(())
 }
 
+/// Writes the fault-recovery record of a run as CSV: one `counter,value`
+/// row per [`FaultStats`](crate::FaultStats) counter, the availability, and
+/// one `failure,<rank>,<diagnostic>` row per terminally failed operation.
+/// All counters are zero and no failure rows appear on a fault-free run.
+pub fn write_fault_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()> {
+    writeln!(w, "counter,value")?;
+    let f = &report.faults;
+    for (name, value) in [
+        ("retries", f.retries),
+        ("timeouts", f.timeouts),
+        ("reroutes", f.reroutes),
+        ("dedup_hits", f.dedup_hits),
+        ("reclaims", f.reclaims),
+        ("unreachable", f.unreachable),
+        ("failed_ops", f.failed_ops),
+        ("lost_ranks", report.lost_ranks.len() as u64),
+    ] {
+        writeln!(w, "{name},{value}")?;
+    }
+    writeln!(w, "availability,{:.6}", report.availability())?;
+    for err in &report.failures {
+        let rank = match err {
+            crate::SimError::Unreachable { rank, .. } | crate::SimError::TimedOut { rank, .. } => {
+                rank.0
+            }
+            crate::SimError::Deadlock { .. } => u32::MAX,
+        };
+        writeln!(w, "failure,{rank},{err}")?;
+    }
+    Ok(())
+}
+
+fn save<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let mut w = BufWriter::new(File::create(path)?);
+    write(&mut w)?;
+    w.flush()
+}
+
+/// Saves the operation trace CSV to `path`, creating or truncating the file.
+///
+/// # Errors
+/// Propagates any I/O failure from creating or writing the file.
+pub fn save_op_trace(report: &Report, path: &Path) -> io::Result<()> {
+    save(path, |w| write_op_trace(report, w))
+}
+
+/// Saves the per-rank summary CSV to `path`.
+///
+/// # Errors
+/// Propagates any I/O failure from creating or writing the file.
+pub fn save_rank_summary(report: &Report, path: &Path) -> io::Result<()> {
+    save(path, |w| write_rank_summary(report, w))
+}
+
+/// Saves the fault-recovery summary CSV to `path`.
+///
+/// # Errors
+/// Propagates any I/O failure from creating or writing the file.
+pub fn save_fault_summary(report: &Report, path: &Path) -> io::Result<()> {
+    save(path, |w| write_fault_summary(report, w))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +145,47 @@ mod tests {
         assert_eq!(lines.len(), 1 + 3); // header + three fadds
         assert!(lines[0].starts_with("rank,kind"));
         assert!(lines[1].contains(",fadd,"));
+    }
+
+    #[test]
+    fn fault_summary_is_all_zero_without_faults() {
+        let report = sample_report();
+        let mut buf = Vec::new();
+        write_fault_summary(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.trim().lines().skip(1) {
+            if let Some(v) = line.strip_prefix("availability,") {
+                assert_eq!(v, "1.000000");
+            } else {
+                assert!(line.ends_with(",0"), "non-zero counter: {line}");
+            }
+        }
+        assert!(!text.contains("failure,"));
+    }
+
+    #[test]
+    fn save_helpers_round_trip_through_files() {
+        let report = sample_report();
+        let dir = std::env::temp_dir().join("vt_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops = dir.join("ops.csv");
+        let ranks = dir.join("ranks.csv");
+        let faults = dir.join("faults.csv");
+        save_op_trace(&report, &ops).unwrap();
+        save_rank_summary(&report, &ranks).unwrap();
+        save_fault_summary(&report, &faults).unwrap();
+        assert!(std::fs::read_to_string(&ops)
+            .unwrap()
+            .starts_with("rank,kind"));
+        assert!(std::fs::read_to_string(&ranks)
+            .unwrap()
+            .starts_with("rank,ops"));
+        assert!(std::fs::read_to_string(&faults)
+            .unwrap()
+            .starts_with("counter,value"));
+        // Saving into a missing directory is an error, not a panic.
+        assert!(save_op_trace(&report, &dir.join("missing/x.csv")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,10 +51,8 @@ fn main() {
     for ((name, _), o) in jobs.iter().zip(&outcomes) {
         let n = o.points.len();
         let eighth = (n / 8).max(1);
-        let head: f64 =
-            o.points[..eighth].iter().map(|&(_, y)| y).sum::<f64>() / eighth as f64;
-        let tail: f64 = o.points[n - eighth..].iter().map(|&(_, y)| y).sum::<f64>()
-            / eighth as f64;
+        let head: f64 = o.points[..eighth].iter().map(|&(_, y)| y).sum::<f64>() / eighth as f64;
+        let tail: f64 = o.points[n - eighth..].iter().map(|&(_, y)| y).sum::<f64>() / eighth as f64;
         out.push_str(&format!(
             "#   {name:8} head {head:>8.1} us   tail {tail:>8.1} us   ratio {:.2}\n",
             tail / head

@@ -37,14 +37,18 @@ fn main() {
             }
         }
     }
-    let outcomes = run_parallel(jobs.clone(), opts.threads, |&(_, net, topology, scenario)| {
-        let cfg = ContentionConfig {
-            measure_stride: stride,
-            net: Some(net),
-            ..ContentionConfig::paper(topology, OpSpec::fetch_add(), scenario)
-        };
-        run(&cfg)
-    });
+    let outcomes = run_parallel(
+        jobs.clone(),
+        opts.threads,
+        |&(_, net, topology, scenario)| {
+            let cfg = ContentionConfig {
+                measure_stride: stride,
+                net: Some(net),
+                ..ContentionConfig::paper(topology, OpSpec::fetch_add(), scenario)
+            };
+            run(&cfg)
+        },
+    );
 
     let mut table = Table::new(&[
         "platform",
@@ -62,9 +66,7 @@ fn main() {
             o.stream_misses.to_string(),
         ]);
     }
-    let mut out = String::from(
-        "# Ablation: the Fig. 7 hot-spot protocol on XT5 vs Blue Gene/P\n",
-    );
+    let mut out = String::from("# Ablation: the Fig. 7 hot-spot protocol on XT5 vs Blue Gene/P\n");
     out.push_str(&table.render());
 
     // Collapse factors per platform.

@@ -45,30 +45,48 @@ fn main() {
 
     let mut out = String::new();
     let panels = [
-        ("7(a)", "FCG & MFCG with No Contention", vec![
-            (TopologyKind::Fcg, Scenario::NoContention),
-            (TopologyKind::Mfcg, Scenario::NoContention),
-        ]),
-        ("7(b)", "FCG & MFCG with 11% Contention", vec![
-            (TopologyKind::Fcg, Scenario::pct11()),
-            (TopologyKind::Mfcg, Scenario::pct11()),
-        ]),
-        ("7(c)", "FCG & MFCG with 20% Contention", vec![
-            (TopologyKind::Fcg, Scenario::pct20()),
-            (TopologyKind::Mfcg, Scenario::pct20()),
-        ]),
-        ("7(d)", "CFCG & Hypercube with No Contention", vec![
-            (TopologyKind::Cfcg, Scenario::NoContention),
-            (TopologyKind::Hypercube, Scenario::NoContention),
-        ]),
-        ("7(e)", "CFCG with 11% Contention", vec![(
-            TopologyKind::Cfcg,
-            Scenario::pct11(),
-        )]),
-        ("7(f)", "CFCG with 20% Contention", vec![(
-            TopologyKind::Cfcg,
-            Scenario::pct20(),
-        )]),
+        (
+            "7(a)",
+            "FCG & MFCG with No Contention",
+            vec![
+                (TopologyKind::Fcg, Scenario::NoContention),
+                (TopologyKind::Mfcg, Scenario::NoContention),
+            ],
+        ),
+        (
+            "7(b)",
+            "FCG & MFCG with 11% Contention",
+            vec![
+                (TopologyKind::Fcg, Scenario::pct11()),
+                (TopologyKind::Mfcg, Scenario::pct11()),
+            ],
+        ),
+        (
+            "7(c)",
+            "FCG & MFCG with 20% Contention",
+            vec![
+                (TopologyKind::Fcg, Scenario::pct20()),
+                (TopologyKind::Mfcg, Scenario::pct20()),
+            ],
+        ),
+        (
+            "7(d)",
+            "CFCG & Hypercube with No Contention",
+            vec![
+                (TopologyKind::Cfcg, Scenario::NoContention),
+                (TopologyKind::Hypercube, Scenario::NoContention),
+            ],
+        ),
+        (
+            "7(e)",
+            "CFCG with 11% Contention",
+            vec![(TopologyKind::Cfcg, Scenario::pct11())],
+        ),
+        (
+            "7(f)",
+            "CFCG with 20% Contention",
+            vec![(TopologyKind::Cfcg, Scenario::pct20())],
+        ),
     ];
     for (id, title, curves) in panels {
         let mut panel = Panel::new(

@@ -1,133 +1,140 @@
-//! Criterion microbenchmarks for the hot paths of the stack: LDF routing
-//! decisions, full-route materialisation, event-queue churn, stream-table
-//! touches, credit accounting, physical torus routing and request-tree
-//! construction.
+//! Microbenchmarks for the hot paths of the stack: LDF routing decisions,
+//! full-route materialisation, event-queue churn, stream-table touches,
+//! credit accounting, physical torus routing and request-tree construction.
+//!
+//! Self-contained timing (no external harness): each benchmark is warmed
+//! up, then run in batches until a time budget is spent, and the median
+//! batch rate is reported as ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use vt_armci::buffers::{CreditKey, CreditManager};
 use vt_armci::{Rank, Sender};
 use vt_core::{ldf, RequestTree, Shape, TopologyKind, VirtualTopology};
 use vt_simnet::nic::StreamTable;
 use vt_simnet::{EventQueue, SimTime, Torus3};
 
-fn bench_ldf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ldf");
+/// Times `f` and prints its median ns/iter over several batches.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const BATCH: u32 = 1_000;
+    let budget = Duration::from_millis(200);
+    // Warm-up.
+    for _ in 0..BATCH {
+        f();
+    }
+    let mut rates = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            f();
+        }
+        rates.push(t0.elapsed().as_nanos() as f64 / f64::from(BATCH));
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let median = rates[rates.len() / 2];
+    println!(
+        "{name:<40} {median:>12.1} ns/iter  ({} batches)",
+        rates.len()
+    );
+}
+
+fn bench_ldf() {
     let mesh = Shape::mesh_for(1024);
-    g.bench_function("next_hop/mfcg-1024", |b| {
-        let mut src = 0u32;
-        b.iter(|| {
-            src = (src + 37) % 1024;
-            black_box(ldf::next_hop(&mesh, 1024, black_box(src), 0))
-        })
+    let mut src = 0u32;
+    bench("ldf/next_hop/mfcg-1024", || {
+        src = (src + 37) % 1024;
+        black_box(ldf::next_hop(&mesh, 1024, black_box(src), 0));
     });
     let cube = Shape::cube_for(4096);
-    g.bench_function("route/cfcg-4096", |b| {
-        let mut src = 1u32;
-        b.iter(|| {
-            src = (src + 101) % 4096;
-            black_box(ldf::route(&cube, 4096, black_box(src), 7))
-        })
+    let mut src = 1u32;
+    bench("ldf/route/cfcg-4096", || {
+        src = (src + 101) % 4096;
+        black_box(ldf::route(&cube, 4096, black_box(src), 7));
     });
     let hc = Shape::hypercube_for(4096).unwrap();
-    g.bench_function("route/hypercube-4096", |b| {
-        let mut src = 1u32;
-        b.iter(|| {
-            src = (src + 101) % 4096;
-            black_box(ldf::route(&hc, 4096, black_box(src), 0))
-        })
-    });
-    g.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push-pop-1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            black_box(sum)
-        })
+    let mut src = 1u32;
+    bench("ldf/route/hypercube-4096", || {
+        src = (src + 101) % 4096;
+        black_box(ldf::route(&hc, 4096, black_box(src), 0));
     });
 }
 
-fn bench_stream_table(c: &mut Criterion) {
-    c.bench_function("stream_table/touch-thrash-96", |b| {
-        let mut t = StreamTable::new(96);
-        let mut src = 0u32;
-        b.iter(|| {
-            src = (src + 1) % 200; // more sources than contexts
-            black_box(t.touch(black_box(src)))
-        })
-    });
-    c.bench_function("stream_table/touch-hit-96", |b| {
-        let mut t = StreamTable::new(96);
-        for s in 0..64 {
-            t.touch(s);
+fn bench_event_queue() {
+    bench("event_queue/push-pop-1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
         }
-        let mut src = 0u32;
-        b.iter(|| {
-            src = (src + 1) % 64;
-            black_box(t.touch(black_box(src)))
-        })
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        black_box(sum);
     });
 }
 
-fn bench_credits(c: &mut Criterion) {
-    c.bench_function("credits/acquire-release", |b| {
-        let mut cm = CreditManager::new(4);
-        let key = CreditKey {
-            sender: Sender::Proc(Rank(7)),
-            edge: (3, 11),
-        };
-        b.iter(|| {
-            assert!(cm.try_acquire(black_box(key)));
-            cm.release(key);
-        })
+fn bench_stream_table() {
+    let mut t = StreamTable::new(96);
+    let mut src = 0u32;
+    bench("stream_table/touch-thrash-96", || {
+        src = (src + 1) % 200; // more sources than contexts
+        black_box(t.touch(black_box(src)));
+    });
+    let mut t = StreamTable::new(96);
+    for s in 0..64 {
+        t.touch(s);
+    }
+    let mut src = 0u32;
+    bench("stream_table/touch-hit-96", || {
+        src = (src + 1) % 64;
+        black_box(t.touch(black_box(src)));
     });
 }
 
-fn bench_torus(c: &mut Criterion) {
+fn bench_credits() {
+    let mut cm = CreditManager::new(4);
+    let key = CreditKey {
+        sender: Sender::Proc(Rank(7)),
+        edge: (3, 11),
+        class: 0,
+    };
+    bench("credits/acquire-release", || {
+        assert!(cm.try_acquire(black_box(key)));
+        cm.release(key);
+    });
+}
+
+fn bench_torus() {
     let t = Torus3::jaguar();
-    c.bench_function("torus/route-links-jaguar", |b| {
-        let mut a = 0u32;
-        b.iter(|| {
-            a = (a + 977) % t.len();
-            black_box(t.route_links(black_box(a), 9_600))
-        })
+    let mut a = 0u32;
+    bench("torus/route-links-jaguar", || {
+        a = (a + 977) % t.len();
+        black_box(t.route_links(black_box(a), 9_600));
     });
-    c.bench_function("torus/hop-count-jaguar", |b| {
-        let mut a = 0u32;
-        b.iter(|| {
-            a = (a + 977) % t.len();
-            black_box(t.hop_count(black_box(a), 9_600))
-        })
+    let mut a = 0u32;
+    bench("torus/hop-count-jaguar", || {
+        a = (a + 977) % t.len();
+        black_box(t.hop_count(black_box(a), 9_600));
     });
 }
 
-fn bench_request_tree(c: &mut Criterion) {
+fn bench_request_tree() {
     let mfcg = TopologyKind::Mfcg.build(1024);
-    c.bench_function("request_tree/build-mfcg-1024", |b| {
-        b.iter(|| black_box(RequestTree::build(&mfcg, 0)))
+    bench("request_tree/build-mfcg-1024", || {
+        black_box(RequestTree::build(&mfcg, 0));
     });
     let fcg = TopologyKind::Fcg.build(1024);
-    c.bench_function("out_neighbors/fcg-1024", |b| {
-        b.iter(|| black_box(fcg.out_neighbors(512)))
+    bench("out_neighbors/fcg-1024", || {
+        black_box(fcg.out_neighbors(512));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_ldf,
-    bench_event_queue,
-    bench_stream_table,
-    bench_credits,
-    bench_torus,
-    bench_request_tree
-);
-criterion_main!(benches);
+fn main() {
+    bench_ldf();
+    bench_event_queue();
+    bench_stream_table();
+    bench_credits();
+    bench_torus();
+    bench_request_tree();
+}

@@ -57,6 +57,19 @@ impl DiGraph {
         self.adj.iter().map(Vec::len).sum()
     }
 
+    /// Adds every edge of `other` to `self` (both over the same vertex set).
+    ///
+    /// # Panics
+    /// Panics if the vertex counts differ.
+    pub fn merge_from(&mut self, other: &DiGraph) {
+        assert_eq!(self.adj.len(), other.adj.len(), "vertex counts differ");
+        for v in 0..other.adj.len() as u32 {
+            for &s in other.successors(v) {
+                self.add_edge(v, s);
+            }
+        }
+    }
+
     /// Whether the graph contains a directed cycle (iterative three-colour
     /// DFS, safe for large graphs).
     pub fn has_cycle(&self) -> bool {
@@ -147,6 +160,21 @@ impl DependencyGraph {
     where
         F: FnMut(NodeId, NodeId) -> Vec<NodeId>,
     {
+        Self::from_fallible_router(topo, |src, dst| Some(router(src, dst)))
+    }
+
+    /// Builds the dependency graph from a routing function that may decline
+    /// some pairs (`None` contributes no dependencies) — the shape of a
+    /// *route-around* router on a topology with dead nodes, where severed
+    /// pairs are reported as unreachable rather than routed.
+    ///
+    /// # Panics
+    /// Panics if a returned route uses a pair of nodes that is not a
+    /// topology edge.
+    pub fn from_fallible_router<F>(topo: &dyn VirtualTopology, mut router: F) -> Self
+    where
+        F: FnMut(NodeId, NodeId) -> Option<Vec<NodeId>>,
+    {
         let n = topo.num_nodes();
         let mut channels = Vec::new();
         let mut index = HashMap::new();
@@ -162,7 +190,9 @@ impl DependencyGraph {
                 if src == dst {
                     continue;
                 }
-                let route = router(src, dst);
+                let Some(route) = router(src, dst) else {
+                    continue;
+                };
                 let mut prev: Option<u32> = None;
                 let mut cur = src;
                 for &hop in &route {
@@ -182,6 +212,24 @@ impl DependencyGraph {
             index,
             graph,
         }
+    }
+
+    /// The union of this dependency graph's arcs with `other`'s, over the
+    /// same topology. Models a routing *transition*: requests routed under
+    /// the old function are still in flight while new requests follow the
+    /// new one, so freedom from deadlock across the switch needs the union
+    /// to be acyclic (cf. re-proving deadlock freedom whenever next-hop
+    /// choice changes).
+    ///
+    /// # Panics
+    /// Panics if the two graphs were built over different channel sets.
+    pub fn union(mut self, other: &DependencyGraph) -> DependencyGraph {
+        assert_eq!(
+            self.channels, other.channels,
+            "dependency graphs over different topologies"
+        );
+        self.graph.merge_from(&other.graph);
+        self
     }
 
     /// Number of channels (topology edges).
@@ -209,6 +257,68 @@ impl DependencyGraph {
     pub fn is_deadlock_free(&self) -> bool {
         !self.graph.has_cycle()
     }
+}
+
+/// The buffer-dependency digraph of **classed** routes: each hop carries an
+/// escape buffer class (see `crate::ldf::route_avoiding_classed`), and the
+/// buffer resources are *(channel, class)* pairs — vertex
+/// `class * channel_count + channel`. Plain channel-level analysis is the
+/// special case `classes = 1` with every hop in class 0.
+///
+/// This is the model under which the route-around order is deadlock-free:
+/// rank `(class, dimension)` rises strictly along every classed route, so
+/// the digraph this returns must be acyclic for any dead set — a property
+/// the fault-injection tests check rather than assume.
+///
+/// The router may decline pairs (`None` contributes no dependencies).
+///
+/// # Panics
+/// Panics if a route uses a pair of nodes that is not a topology edge or a
+/// class `>= classes`.
+pub fn classed_dependency_digraph<F>(
+    topo: &dyn VirtualTopology,
+    classes: u8,
+    mut router: F,
+) -> DiGraph
+where
+    F: FnMut(NodeId, NodeId) -> Option<Vec<(NodeId, u8)>>,
+{
+    assert!(classes >= 1, "need at least one buffer class");
+    let n = topo.num_nodes();
+    let mut index = HashMap::new();
+    for from in 0..n {
+        for to in topo.out_neighbors(from) {
+            let next = index.len() as u32;
+            index.insert((from, to), next);
+        }
+    }
+    let channel_count = index.len() as u32;
+    let mut graph = DiGraph::new((channel_count as usize) * usize::from(classes));
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let Some(route) = router(src, dst) else {
+                continue;
+            };
+            let mut prev: Option<u32> = None;
+            let mut cur = src;
+            for &(hop, class) in &route {
+                assert!(class < classes, "class {class} out of range 0..{classes}");
+                let ch = *index
+                    .get(&(cur, hop))
+                    .unwrap_or_else(|| panic!("route uses non-edge {cur} -> {hop}"));
+                let v = u32::from(class) * channel_count + ch;
+                if let Some(p) = prev {
+                    graph.add_edge(p, v);
+                }
+                prev = Some(v);
+                cur = hop;
+            }
+        }
+    }
+    graph
 }
 
 #[cfg(test)]
@@ -293,6 +403,125 @@ mod tests {
             hops
         });
         assert!(!dep.is_deadlock_free());
+    }
+
+    #[test]
+    fn fallible_router_skips_declined_pairs() {
+        // A router that declines everything yields no arcs at all.
+        let t = Mfcg::new(9);
+        let dep = DependencyGraph::from_fallible_router(&t, |_, _| None);
+        assert_eq!(dep.graph().edge_count(), 0);
+        assert!(dep.is_deadlock_free());
+    }
+
+    #[test]
+    fn naive_route_around_without_classes_can_cycle() {
+        // The motivating counter-example for escape buffer classes: on a
+        // 16-node CFCG with node 0 dead, the escape hops' out-of-order
+        // dimension crossings close a cycle at the plain channel level.
+        use crate::ldf;
+        let t = TopologyKind::Cfcg.build(16);
+        let shape = t.shape().clone();
+        let dead = [0u32];
+        let around = DependencyGraph::from_fallible_router(&t, |src, dst| {
+            if dead.contains(&src) || dead.contains(&dst) {
+                return None;
+            }
+            ldf::route_avoiding(&shape, 16, src, dst, &dead)
+        });
+        assert!(
+            !around.is_deadlock_free(),
+            "expected the classless escape order to cycle — if this ever \
+             becomes acyclic the escape-class machinery may be removable"
+        );
+    }
+
+    #[test]
+    fn classed_route_around_stays_acyclic_even_with_ldf_in_flight() {
+        // Kill one node and route around it under escape classes: the
+        // surviving pairs' classed routes must be deadlock-free on their
+        // own AND together with the original (class-0) LDF routes, because
+        // pre-crash traffic is still in flight when the first rerouted
+        // request is issued.
+        use crate::ldf;
+        for kind in [
+            TopologyKind::Mfcg,
+            TopologyKind::Cfcg,
+            TopologyKind::Hypercube,
+        ] {
+            for n in [8u32, 9, 16, 27] {
+                if !kind.supports(n) {
+                    continue;
+                }
+                let t = kind.build(n);
+                let shape = t.shape().clone();
+                let classes = shape.ndims() as u8;
+                let healthy = classed_dependency_digraph(&t, classes, |src, dst| {
+                    Some(
+                        ldf::route(&shape, n, src, dst)
+                            .into_iter()
+                            .map(|h| (h, 0))
+                            .collect(),
+                    )
+                });
+                assert!(!healthy.has_cycle());
+                for victim in [0u32, n / 2, n - 1] {
+                    let dead = [victim];
+                    let mut around = classed_dependency_digraph(&t, classes, |src, dst| {
+                        if dead.contains(&src) || dead.contains(&dst) {
+                            return None;
+                        }
+                        ldf::route_avoiding_classed(&shape, n, src, dst, &dead)
+                    });
+                    assert!(
+                        !around.has_cycle(),
+                        "{kind}/{n} classed route-around past {victim} cycles"
+                    );
+                    around.merge_from(&healthy);
+                    assert!(
+                        !around.has_cycle(),
+                        "{kind}/{n} transition past {victim} cycles"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_conflicting_orders_is_cyclic() {
+        // Sanity-check that `union` actually detects transition hazards:
+        // X-then-Y and Y-then-X are each deadlock-free alone, but their
+        // union contains both orderings and cycles.
+        let t = Mfcg::new(9);
+        let shape = t.shape().clone();
+        let router = |dims: [usize; 2]| {
+            let shape = shape.clone();
+            move |src: u32, dst: u32| {
+                let d = shape.coord_of(dst);
+                let mut cur = shape.coord_of(src);
+                let mut hops = Vec::new();
+                for dim in dims {
+                    if cur.get(dim) != d.get(dim) {
+                        cur.set(dim, d.get(dim));
+                        hops.push(shape.id_of(&cur));
+                    }
+                }
+                hops
+            }
+        };
+        let xy = DependencyGraph::from_router(&t, router([0, 1]));
+        let yx = DependencyGraph::from_router(&t, router([1, 0]));
+        assert!(xy.is_deadlock_free());
+        assert!(yx.is_deadlock_free());
+        assert!(!xy.union(&yx).is_deadlock_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "different topologies")]
+    fn union_over_different_topologies_panics() {
+        let a = DependencyGraph::from_topology(&Mfcg::new(9));
+        let b = DependencyGraph::from_topology(&Mfcg::new(16));
+        let _ = a.union(&b);
     }
 
     #[test]

@@ -65,6 +65,169 @@ pub fn next_hop(shape: &Shape, n: u32, current: u32, dest: u32) -> Option<u32> {
     );
 }
 
+/// Outcome of a dead-set-aware next-hop decision ([`next_hop_avoiding`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopDecision {
+    /// `current == dest`: nothing to route.
+    Arrived,
+    /// The next node on the fault-tolerant LDF route.
+    Hop(u32),
+    /// No live hop exists: the destination is dead, or every differing
+    /// dimension's hop is dead or outside the population.
+    Unreachable,
+}
+
+/// The next hop of the **route-around** variant of extended LDF: fix the
+/// lowest differing dimension whose hop node exists *and is not in `dead`*.
+///
+/// This is the ordinary extended-LDF scan with one more skip condition, so
+/// it degenerates to [`next_hop`] when `dead` is empty.
+///
+/// **Deadlock freedom needs escape classes.** The partial-slice skips of
+/// extended LDF keep a global channel order because the missing nodes sit
+/// only in the topmost slice; a dead node can sit *anywhere*, and skipping
+/// it makes some routes fix a lower dimension *after* a higher one. The
+/// channel-level dependencies of such routes can close cycles against
+/// ordinary LDF traffic — the [`crate::graph`] harness finds a concrete
+/// cycle on a 16-node CFCG with node 0 dead — mirroring the classic result
+/// that fault-adaptive dimension-order routing is not deadlock-free without
+/// extra virtual channels. The cure is the standard one: every *descent* —
+/// a hop fixing a lower dimension than the previous hop did — moves the
+/// request into the next **escape buffer class**
+/// ([`route_avoiding_classed`]), a separate credit pool on the same edge.
+/// Ranking hops by `(class, dimension)` then increases strictly along every
+/// route (same class ⇒ the dimension rose; descent ⇒ the class rose), so
+/// the buffer-dependency graph over *(channel, class)* pairs is acyclic for
+/// **any** dead set; and a route takes at most `ndims` hops, so fewer than
+/// `ndims` classes ever exist. A fault-free run never descends and stays
+/// entirely in class 0 — plain LDF. The argument is additionally *checked*,
+/// not assumed, by [`crate::graph::classed_dependency_digraph`] cycle tests
+/// over sampled and randomised dead sets.
+///
+/// Unlike plain extended LDF, a legal hop is **not** guaranteed to exist:
+/// when only one dimension differs, the sole candidate hop *is* the
+/// destination, and killing the last alternative forwarder severs the pair.
+/// Route-around never detours through a non-differing dimension — that
+/// would break both the ≤ `ndims` hop bound and the monotone-progress
+/// argument — so such pairs report [`HopDecision::Unreachable`] and the
+/// caller surfaces a diagnostic instead of risking an unbounded escape.
+///
+/// `dead` is a small unordered slice of dead node ids; `current` must not
+/// be in it (a dead node routes nothing).
+///
+/// # Panics
+/// Panics if `current` or `dest` is `>= n`, or `n` exceeds the shape's
+/// capacity.
+pub fn next_hop_avoiding(
+    shape: &Shape,
+    n: u32,
+    current: u32,
+    dest: u32,
+    dead: &[u32],
+) -> HopDecision {
+    assert!(u64::from(n) <= shape.capacity(), "population exceeds shape");
+    assert!(current < n, "current node {current} out of range (n = {n})");
+    assert!(dest < n, "destination node {dest} out of range (n = {n})");
+    debug_assert!(!dead.contains(&current), "dead node {current} cannot route");
+    if current == dest {
+        return HopDecision::Arrived;
+    }
+    if dead.contains(&dest) {
+        return HopDecision::Unreachable;
+    }
+    let s = shape.coord_of(current);
+    let t = shape.coord_of(dest);
+    for dim in 0..shape.ndims() {
+        if s.get(dim) != t.get(dim) {
+            let mut d = s;
+            d.set(dim, t.get(dim));
+            let id = shape.id_of(&d);
+            if id < n && !dead.contains(&id) {
+                return HopDecision::Hop(id);
+            }
+            // Missing (partial top slice) or dead: defer this dimension and
+            // escape to the next higher differing one.
+        }
+    }
+    HopDecision::Unreachable
+}
+
+/// The full route-around route from `src` to `dest`, or `None` when some
+/// prefix of it dead-ends. Empty when `src == dest`.
+pub fn route_avoiding(
+    shape: &Shape,
+    n: u32,
+    src: u32,
+    dest: u32,
+    dead: &[u32],
+) -> Option<Vec<u32>> {
+    let mut hops = Vec::with_capacity(shape.ndims());
+    let mut cur = src;
+    loop {
+        match next_hop_avoiding(shape, n, cur, dest, dead) {
+            HopDecision::Arrived => return Some(hops),
+            HopDecision::Unreachable => return None,
+            HopDecision::Hop(next) => {
+                hops.push(next);
+                cur = next;
+                assert!(
+                    hops.len() <= shape.ndims(),
+                    "route-around from {src} to {dest} exceeded {} hops",
+                    shape.ndims()
+                );
+            }
+        }
+    }
+}
+
+/// The dimension an edge between topology neighbours `a` and `b` crosses.
+///
+/// # Panics
+/// Panics if `a` and `b` do not differ in exactly one dimension.
+pub fn crossing_dim(shape: &Shape, a: u32, b: u32) -> usize {
+    let ca = shape.coord_of(a);
+    let cb = shape.coord_of(b);
+    let mut found = None;
+    for dim in 0..shape.ndims() {
+        if ca.get(dim) != cb.get(dim) {
+            assert!(
+                found.is_none(),
+                "{a} and {b} differ in more than one dimension"
+            );
+            found = Some(dim);
+        }
+    }
+    found.unwrap_or_else(|| panic!("{a} and {b} occupy the same position"))
+}
+
+/// [`route_avoiding`] with each hop's **escape buffer class**: hops start in
+/// class 0 and every descent (a hop crossing a lower dimension than the hop
+/// before it) increments the class. See [`next_hop_avoiding`] for why the
+/// classes exist; with an empty `dead` set every hop is class 0.
+pub fn route_avoiding_classed(
+    shape: &Shape,
+    n: u32,
+    src: u32,
+    dest: u32,
+    dead: &[u32],
+) -> Option<Vec<(u32, u8)>> {
+    let hops = route_avoiding(shape, n, src, dest, dead)?;
+    let mut out = Vec::with_capacity(hops.len());
+    let mut class = 0u8;
+    let mut prev_dim: Option<usize> = None;
+    let mut cur = src;
+    for &hop in &hops {
+        let dim = crossing_dim(shape, cur, hop);
+        if prev_dim.is_some_and(|p| dim < p) {
+            class += 1;
+        }
+        out.push((hop, class));
+        prev_dim = Some(dim);
+        cur = hop;
+    }
+    Some(out)
+}
+
 /// The full LDF route from `src` to `dest`: every intermediate node followed
 /// by `dest` itself. Empty when `src == dest`.
 ///
@@ -193,5 +356,145 @@ mod tests {
     fn next_hop_rejects_missing_nodes() {
         let s = Shape::new(vec![3, 3]);
         next_hop(&s, 8, 8, 0);
+    }
+
+    #[test]
+    fn avoiding_nothing_matches_plain_ldf() {
+        for n in [7u32, 9, 16, 27] {
+            for shape in [Shape::mesh_for(n), Shape::cube_for(n)] {
+                for src in 0..n {
+                    for dst in 0..n {
+                        let plain = next_hop(&shape, n, src, dst);
+                        let avoiding = next_hop_avoiding(&shape, n, src, dst, &[]);
+                        match plain {
+                            None => assert_eq!(avoiding, HopDecision::Arrived),
+                            Some(h) => assert_eq!(avoiding, HopDecision::Hop(h)),
+                        }
+                        assert_eq!(
+                            route_avoiding(&shape, n, src, dst, &[]).unwrap(),
+                            route(&shape, n, src, dst)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_around_escapes_a_dead_forwarder() {
+        // 3x3 mesh, node 8 = (2,2) -> node 0 = (0,0). Plain LDF forwards
+        // via (0,2) = 6; with 6 dead the escape fixes Y first via (2,0) = 2.
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(route(&s, 9, 8, 0), vec![6, 0]);
+        assert_eq!(route_avoiding(&s, 9, 8, 0, &[6]).unwrap(), vec![2, 0]);
+    }
+
+    #[test]
+    fn dead_destination_is_unreachable() {
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(
+            next_hop_avoiding(&s, 9, 8, 0, &[0]),
+            HopDecision::Unreachable
+        );
+        assert!(route_avoiding(&s, 9, 8, 0, &[0]).is_none());
+    }
+
+    #[test]
+    fn single_differing_dimension_cannot_route_around() {
+        // (0,0) -> (2,0) differ only in X: the only candidate hop is the
+        // destination itself, so no third-party death can sever the pair,
+        // but a two-node cut in the other dimension cannot be escaped
+        // either: from (0,0) to (0,2) with (0,2) alive there is exactly one
+        // hop — route-around never detours through non-differing dims.
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(next_hop_avoiding(&s, 9, 0, 2, &[1, 5]), HopDecision::Hop(2));
+        // All alternatives in both differing dimensions dead: unreachable.
+        assert_eq!(
+            next_hop_avoiding(&s, 9, 8, 0, &[6, 2]),
+            HopDecision::Unreachable
+        );
+    }
+
+    #[test]
+    fn route_around_stays_within_ndims_hops() {
+        let n = 27;
+        let shape = Shape::cube_for(n);
+        for dead in [vec![13u32], vec![1, 9], vec![4, 10, 22]] {
+            for src in 0..n {
+                for dst in 0..n {
+                    if dead.contains(&src) || dead.contains(&dst) {
+                        continue;
+                    }
+                    if let Some(r) = route_avoiding(&shape, n, src, dst, &dead) {
+                        assert!(r.len() <= shape.ndims());
+                        for hop in &r {
+                            assert!(!dead.contains(hop), "{src}->{dst} via dead {hop}");
+                        }
+                        if src != dst {
+                            assert_eq!(*r.last().unwrap(), dst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_dim_identifies_the_edge_dimension() {
+        let s = Shape::new(vec![3, 3, 2]);
+        assert_eq!(crossing_dim(&s, 0, 2), 0); // (0,0,0) -> (2,0,0)
+        assert_eq!(crossing_dim(&s, 0, 6), 1); // (0,0,0) -> (0,2,0)
+        assert_eq!(crossing_dim(&s, 0, 9), 2); // (0,0,0) -> (0,0,1)
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one dimension")]
+    fn crossing_dim_rejects_non_neighbours() {
+        let s = Shape::new(vec![3, 3]);
+        crossing_dim(&s, 0, 8); // (0,0) vs (2,2)
+    }
+
+    #[test]
+    fn classed_routes_stay_in_class_zero_without_deaths() {
+        let n = 27;
+        let shape = Shape::cube_for(n);
+        for src in 0..n {
+            for dst in 0..n {
+                let classed = route_avoiding_classed(&shape, n, src, dst, &[]).unwrap();
+                assert!(classed.iter().all(|&(_, c)| c == 0), "{src}->{dst}");
+                let hops: Vec<u32> = classed.iter().map(|&(h, _)| h).collect();
+                assert_eq!(hops, route(&shape, n, src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn descent_escalates_the_escape_class() {
+        // 3x3 mesh, forwarder (0,2)=6 dead: (2,2)=8 -> (0,0)=0 escapes to
+        // dimension 1 first (hop to (2,0)=2) and then descends back to
+        // dimension 0 — the descent hop must carry class 1.
+        let s = Shape::new(vec![3, 3]);
+        let classed = route_avoiding_classed(&s, 9, 8, 0, &[6]).unwrap();
+        assert_eq!(classed, vec![(2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn escape_classes_stay_below_ndims() {
+        let n = 27;
+        let shape = Shape::cube_for(n);
+        for dead in [vec![13u32], vec![1, 9], vec![4, 10, 22]] {
+            for src in 0..n {
+                for dst in 0..n {
+                    if dead.contains(&src) || dead.contains(&dst) {
+                        continue;
+                    }
+                    if let Some(r) = route_avoiding_classed(&shape, n, src, dst, &dead) {
+                        for &(_, class) in &r {
+                            assert!(usize::from(class) < shape.ndims());
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -119,7 +119,10 @@ mod tests {
         let mfcg = m.increment_bytes(&Mfcg::new(n), 0);
         let cfcg = m.increment_bytes(&Cfcg::new(n), 0);
         let hc = m.increment_bytes(&Hypercube::new(n).unwrap(), 0);
-        assert!(fcg > mfcg && mfcg > cfcg && cfcg > hc, "{fcg} {mfcg} {cfcg} {hc}");
+        assert!(
+            fcg > mfcg && mfcg > cfcg && cfcg > hc,
+            "{fcg} {mfcg} {cfcg} {hc}"
+        );
         // The FCG/MFCG ratio sits between the bookkeeping-dominated lower
         // bound and the raw edge ratio (~16.5x for 1 024 nodes).
         let ratio = fcg as f64 / mfcg as f64;

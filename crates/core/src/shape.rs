@@ -163,7 +163,11 @@ impl Shape {
         let mut stride: u64 = 1;
         for (i, &d) in self.dims.iter().enumerate() {
             let v = c.get(i);
-            assert!(v < d, "coordinate {c} out of range for shape {:?}", self.dims);
+            assert!(
+                v < d,
+                "coordinate {c} out of range for shape {:?}",
+                self.dims
+            );
             id += u64::from(v) * stride;
             stride *= u64::from(d);
         }
@@ -287,7 +291,10 @@ mod tests {
     #[test]
     fn balanced_for_generalises_mesh_and_cube() {
         assert_eq!(Shape::balanced_for(1024, 1).dims(), &[1024]);
-        assert_eq!(Shape::balanced_for(1024, 2).dims(), Shape::mesh_for(1024).dims());
+        assert_eq!(
+            Shape::balanced_for(1024, 2).dims(),
+            Shape::mesh_for(1024).dims()
+        );
         assert_eq!(Shape::balanced_for(27, 3).dims(), &[3, 3, 3]);
         assert_eq!(Shape::balanced_for(1024, 5).dims(), &[4, 4, 4, 4, 4]);
     }

@@ -187,11 +187,7 @@ impl Grid {
     /// Panics unless `1 <= k <= MAX_DIMS`.
     pub fn kfcg(k: u32, n: u32) -> Self {
         let k = usize::try_from(k).expect("k fits usize");
-        Grid::new(
-            TopologyKind::KFcg(k as u8),
-            Shape::balanced_for(n, k),
-            n,
-        )
+        Grid::new(TopologyKind::KFcg(k as u8), Shape::balanced_for(n, k), n)
     }
 
     fn new(kind: TopologyKind, shape: Shape, n: u32) -> Self {

@@ -149,7 +149,10 @@ mod tests {
         // Every sub-patch is fully inside its owner's block.
         for (owner, sub) in &parts {
             let block = ga.block_of(*owner);
-            assert_eq!(block.intersect(sub.row0, sub.row_end(), sub.col0, sub.col_end()), Some(*sub));
+            assert_eq!(
+                block.intersect(sub.row0, sub.row_end(), sub.col0, sub.col_end()),
+                Some(*sub)
+            );
         }
     }
 

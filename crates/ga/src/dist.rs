@@ -72,7 +72,10 @@ impl BlockDist {
     /// # Panics
     /// Panics if the element is out of the array.
     pub fn owner_of(&self, r: u64, c: u64) -> Rank {
-        assert!(r < self.rows && c < self.cols, "element ({r},{c}) out of array");
+        assert!(
+            r < self.rows && c < self.cols,
+            "element ({r},{c}) out of array"
+        );
         Rank(self.col_block(c) * self.px + self.row_block(r))
     }
 }

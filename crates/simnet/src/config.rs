@@ -37,6 +37,10 @@ pub struct NetworkConfig {
     pub stream_miss_penalty: SimTime,
     /// Latency of an intra-node (shared-memory) delivery.
     pub shm_latency: SimTime,
+    /// Seed for the fault-injection RNG stream (transient drop decisions).
+    /// Forked independently of every other stream, so changing it perturbs
+    /// only which messages a [`crate::fault::DropWindow`] claims.
+    pub fault_seed: u64,
 }
 
 impl Default for NetworkConfig {
@@ -53,6 +57,7 @@ impl Default for NetworkConfig {
             stream_contexts: 96,
             stream_miss_penalty: SimTime::from_micros(25),
             shm_latency: SimTime::from_nanos(400),
+            fault_seed: 0xFA17,
         }
     }
 }
@@ -89,6 +94,7 @@ impl NetworkConfig {
             stream_contexts: 256,
             stream_miss_penalty: SimTime::from_micros(3),
             shm_latency: SimTime::from_nanos(500),
+            fault_seed: 0xFA17,
         }
     }
 
@@ -143,7 +149,10 @@ mod tests {
     fn bluegene_p_contrasts_with_xt5() {
         let bgp = NetworkConfig::bluegene_p();
         let xt5 = NetworkConfig::jaguar();
-        assert!(bgp.link_bytes_per_ns < xt5.link_bytes_per_ns, "slower links");
+        assert!(
+            bgp.link_bytes_per_ns < xt5.link_bytes_per_ns,
+            "slower links"
+        );
         assert!(bgp.hop_latency < xt5.hop_latency, "faster hops");
         assert!(
             bgp.stream_miss_penalty < xt5.stream_miss_penalty,

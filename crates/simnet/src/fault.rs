@@ -1,0 +1,274 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a *schedule*, fixed before the run starts, of
+//! everything that will go wrong: nodes that crash (host, CHT thread and
+//! NIC all die together), links that degrade or fail outright for a
+//! window, and windows of transient message loss. The plan plus the
+//! machine seed fully determine the run — injecting the same plan twice
+//! produces byte-identical timelines, so every failure scenario is a
+//! reproducible experiment rather than a flake.
+//!
+//! The plan is interpreted in two places. [`crate::net::Network`] consults
+//! it on every send: messages to or from a crashed node, messages whose
+//! route crosses a failed link, and messages caught by a drop window are
+//! returned as [`crate::net::SendOutcome::Dropped`] instead of a delivery.
+//! The runtime layer above (vt-armci) schedules the node-crash instants as
+//! events so it can retire the node's processes and steer new routes
+//! around it.
+//!
+//! An **empty** plan costs nothing: the network takes its unfaulted send
+//! path and the runtime arms no timers, so a run with `FaultPlan::new()`
+//! is event-for-event identical to one built without a plan at all.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A node failure: at `at`, the node's host processes, helper thread and
+/// NIC all stop. In-flight messages towards it are lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Instant of the crash.
+    pub at: SimTime,
+    /// Logical node that dies.
+    pub node: u32,
+}
+
+/// What a link fault does while active.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LinkMode {
+    /// The link still works but serialises `factor` times slower
+    /// (`factor >= 1`).
+    Degrade(f64),
+    /// The link drops every message whose head reaches it.
+    Fail,
+}
+
+/// A fault on one directed physical link, identified the same way
+/// [`crate::net::Network::top_links`] reports them: torus slot plus
+/// direction index `0..6`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Physical torus slot the link leaves from.
+    pub slot: u32,
+    /// Direction index (`0..6`: ±x, ±y, ±z).
+    pub dir: u8,
+    /// When the fault begins.
+    pub at: SimTime,
+    /// When it clears; `None` means it never does.
+    pub until: Option<SimTime>,
+    /// Degradation or outright failure.
+    pub mode: LinkMode,
+}
+
+/// A window of transient loss: each message *arriving* inside the window
+/// is dropped with the given probability (drawn from the machine's
+/// fault RNG stream, so the same seed loses the same messages).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DropWindow {
+    /// Start of the lossy window.
+    pub from: SimTime,
+    /// End of the lossy window (exclusive).
+    pub until: SimTime,
+    /// Per-message drop probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+/// A complete, deterministic schedule of injected faults.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Nodes that crash, and when.
+    pub node_crashes: Vec<NodeCrash>,
+    /// Link degradations and failures.
+    pub link_faults: Vec<LinkFault>,
+    /// Windows of transient message loss.
+    pub drop_windows: Vec<DropWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan — nothing fails.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules no faults at all. Empty plans take the
+    /// unfaulted fast paths everywhere.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty() && self.link_faults.is_empty() && self.drop_windows.is_empty()
+    }
+
+    /// Schedules `node` to crash at `at` (builder style).
+    pub fn crash_node(mut self, at: SimTime, node: u32) -> Self {
+        self.node_crashes.push(NodeCrash { at, node });
+        self
+    }
+
+    /// Fails the link `slot`/`dir` from `at` until `until` (forever when
+    /// `None`).
+    pub fn fail_link(mut self, slot: u32, dir: u8, at: SimTime, until: Option<SimTime>) -> Self {
+        self.link_faults.push(LinkFault {
+            slot,
+            dir,
+            at,
+            until,
+            mode: LinkMode::Fail,
+        });
+        self
+    }
+
+    /// Degrades the link `slot`/`dir` by `factor` (≥ 1) from `at` until
+    /// `until`.
+    pub fn degrade_link(
+        mut self,
+        slot: u32,
+        dir: u8,
+        at: SimTime,
+        until: Option<SimTime>,
+        factor: f64,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            slot,
+            dir,
+            at,
+            until,
+            mode: LinkMode::Degrade(factor),
+        });
+        self
+    }
+
+    /// Adds a transient-loss window dropping arrivals in `[from, until)`
+    /// with probability `p`.
+    pub fn drop_window(mut self, from: SimTime, until: SimTime, p: f64) -> Self {
+        self.drop_windows.push(DropWindow {
+            from,
+            until,
+            probability: p,
+        });
+        self
+    }
+
+    /// The crash instant of `node`, if the plan kills it.
+    pub fn crash_time(&self, node: u32) -> Option<SimTime> {
+        self.node_crashes
+            .iter()
+            .filter(|c| c.node == node)
+            .map(|c| c.at)
+            .min()
+    }
+
+    /// Checks internal consistency: direction indices in range, degrade
+    /// factors ≥ 1, probabilities in `[0, 1]`, windows non-empty, and no
+    /// node crashing twice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut crashed = Vec::new();
+        for c in &self.node_crashes {
+            if crashed.contains(&c.node) {
+                return Err(format!("node {} crashes more than once", c.node));
+            }
+            crashed.push(c.node);
+        }
+        for f in &self.link_faults {
+            if f.dir >= 6 {
+                return Err(format!("link direction {} out of range 0..6", f.dir));
+            }
+            if let Some(until) = f.until {
+                if until <= f.at {
+                    return Err(format!("link fault window {:?}..{until:?} is empty", f.at));
+                }
+            }
+            if let LinkMode::Degrade(factor) = f.mode {
+                if factor.is_nan() || factor < 1.0 {
+                    return Err(format!("degrade factor {factor} must be >= 1"));
+                }
+            }
+        }
+        for w in &self.drop_windows {
+            if w.until <= w.from {
+                return Err(format!("drop window {:?}..{:?} is empty", w.from, w.until));
+            }
+            if !(0.0..=1.0).contains(&w.probability) {
+                return Err(format!("drop probability {} outside [0, 1]", w.probability));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a message was lost instead of delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The sending node was already dead.
+    SourceDead,
+    /// The destination node was dead by the time the payload arrived.
+    DestDead,
+    /// A failed link on the route swallowed the message.
+    LinkDown,
+    /// A transient-loss window claimed the message.
+    Transient,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropReason::SourceDead => "source-dead",
+            DropReason::DestDead => "dest-dead",
+            DropReason::LinkDown => "link-down",
+            DropReason::Transient => "transient",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::new().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(50), 3)
+            .fail_link(7, 2, SimTime::ZERO, None)
+            .degrade_link(1, 0, SimTime::ZERO, Some(SimTime::from_micros(10)), 4.0)
+            .drop_window(SimTime::ZERO, SimTime::from_micros(5), 0.25);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.node_crashes.len(), 1);
+        assert_eq!(plan.link_faults.len(), 2);
+        assert_eq!(plan.drop_windows.len(), 1);
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.crash_time(3), Some(SimTime::from_micros(50)));
+        assert_eq!(plan.crash_time(4), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let twice = FaultPlan::new()
+            .crash_node(SimTime::ZERO, 1)
+            .crash_node(SimTime::from_micros(1), 1);
+        assert!(twice.validate().is_err());
+
+        let bad_dir = FaultPlan::new().fail_link(0, 6, SimTime::ZERO, None);
+        assert!(bad_dir.validate().is_err());
+
+        let empty_window = FaultPlan::new().fail_link(
+            0,
+            0,
+            SimTime::from_micros(2),
+            Some(SimTime::from_micros(2)),
+        );
+        assert!(empty_window.validate().is_err());
+
+        let speedup = FaultPlan::new().degrade_link(0, 0, SimTime::ZERO, None, 0.5);
+        assert!(speedup.validate().is_err());
+
+        let bad_p = FaultPlan::new().drop_window(SimTime::ZERO, SimTime::from_micros(1), 1.5);
+        assert!(bad_p.validate().is_err());
+
+        let empty_drop = FaultPlan::new().drop_window(SimTime::from_micros(1), SimTime::ZERO, 0.1);
+        assert!(empty_drop.validate().is_err());
+    }
+}

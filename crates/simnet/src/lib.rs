@@ -15,7 +15,11 @@
 //!   paper's "flow control and reliability" throttling (§II),
 //! * [`Network`] — the façade that reserves NIC and link time for a message
 //!   and returns its delivery time,
-//! * [`DetRng`] and [`stats`] — seeded randomness and summary statistics.
+//! * [`DetRng`] and [`stats`] — seeded randomness and summary statistics,
+//! * [`FaultPlan`] — a deterministic schedule of node crashes, link
+//!   degradation/failure and transient message loss, interpreted by
+//!   [`Network::send_faulted`](net::Network::send_faulted); an empty plan
+//!   leaves every fast path untouched.
 //!
 //! The simulator is a *time-reservation* model: every component keeps a
 //! `busy_until` horizon and messages queue behind it, which is how many-to-one
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod net;
 pub mod nic;
@@ -39,7 +44,8 @@ pub mod torus;
 
 pub use config::NetworkConfig;
 pub use engine::EventQueue;
-pub use net::{Delivery, Network};
+pub use fault::{DropReason, DropWindow, FaultPlan, LinkFault, LinkMode, NodeCrash};
+pub use net::{Delivery, Network, SendOutcome};
 pub use nic::Nic;
 pub use placement::Placement;
 pub use rng::DetRng;

@@ -8,11 +8,21 @@
 use crate::time::SimTime;
 
 /// One directed physical link.
+///
+/// A link may carry injected faults ([`Link::set_outage`],
+/// [`Link::set_degrade`]): an *outage* window during which every message
+/// whose head reaches the link is lost, and a *degrade* window during
+/// which serialisation is slowed by a factor. Both default to absent and
+/// cost nothing when unset.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Link {
     busy_until: SimTime,
     /// Total bytes ever serialised onto this link (for utilisation reports).
     bytes: u64,
+    /// Failure window `(from, until)`; `until = None` means forever.
+    outage: Option<(SimTime, Option<SimTime>)>,
+    /// Degradation window `(from, until, factor)` with `factor >= 1`.
+    degrade: Option<(SimTime, Option<SimTime>, f64)>,
 }
 
 impl Link {
@@ -23,6 +33,39 @@ impl Link {
         self.busy_until = start + occupancy;
         self.bytes += bytes;
         start
+    }
+
+    /// Installs a failure window: messages heading onto the link inside
+    /// `[from, until)` are dropped (`until = None` leaves it down forever).
+    pub fn set_outage(&mut self, from: SimTime, until: Option<SimTime>) {
+        self.outage = Some((from, until));
+    }
+
+    /// Installs a degradation window: serialisation inside `[from, until)`
+    /// is `factor` times slower.
+    ///
+    /// # Panics
+    /// Panics if `factor < 1`.
+    pub fn set_degrade(&mut self, from: SimTime, until: Option<SimTime>, factor: f64) {
+        assert!(factor >= 1.0, "degrade factor {factor} must be >= 1");
+        self.degrade = Some((from, until, factor));
+    }
+
+    /// Whether the link is down (inside its outage window) at `at`.
+    pub fn is_down(&self, at: SimTime) -> bool {
+        match self.outage {
+            Some((from, until)) => at >= from && until.is_none_or(|u| at < u),
+            None => false,
+        }
+    }
+
+    /// The serialisation slow-down factor in effect at `at` (1.0 when
+    /// healthy).
+    pub fn occupancy_factor(&self, at: SimTime) -> f64 {
+        match self.degrade {
+            Some((from, until, factor)) if at >= from && until.is_none_or(|u| at < u) => factor,
+            _ => 1.0,
+        }
     }
 
     /// The time at which the link becomes free.
@@ -66,5 +109,50 @@ mod tests {
             l.reserve(SimTime::ZERO, SimTime::from_nanos(7), 1);
         }
         assert_eq!(l.busy_until(), SimTime::from_nanos(70));
+    }
+
+    #[test]
+    fn healthy_link_reports_no_faults() {
+        let l = Link::default();
+        assert!(!l.is_down(SimTime::ZERO));
+        assert!(!l.is_down(SimTime::from_secs(100)));
+        assert_eq!(l.occupancy_factor(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn outage_window_bounds_are_half_open() {
+        let mut l = Link::default();
+        l.set_outage(SimTime::from_nanos(10), Some(SimTime::from_nanos(20)));
+        assert!(!l.is_down(SimTime::from_nanos(9)));
+        assert!(l.is_down(SimTime::from_nanos(10)));
+        assert!(l.is_down(SimTime::from_nanos(19)));
+        assert!(!l.is_down(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn permanent_outage_never_clears() {
+        let mut l = Link::default();
+        l.set_outage(SimTime::from_nanos(5), None);
+        assert!(!l.is_down(SimTime::from_nanos(4)));
+        assert!(l.is_down(SimTime::from_secs(1_000)));
+    }
+
+    #[test]
+    fn degrade_window_scales_occupancy_factor() {
+        let mut l = Link::default();
+        l.set_degrade(
+            SimTime::from_nanos(100),
+            Some(SimTime::from_nanos(200)),
+            3.0,
+        );
+        assert_eq!(l.occupancy_factor(SimTime::from_nanos(99)), 1.0);
+        assert_eq!(l.occupancy_factor(SimTime::from_nanos(100)), 3.0);
+        assert_eq!(l.occupancy_factor(SimTime::from_nanos(200)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn degrade_speedup_panics() {
+        Link::default().set_degrade(SimTime::ZERO, None, 0.25);
     }
 }

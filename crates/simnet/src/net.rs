@@ -9,9 +9,11 @@
 //! from the per-resource `busy_until` horizons.
 
 use crate::config::NetworkConfig;
+use crate::fault::{DropReason, DropWindow, FaultPlan, LinkMode};
 use crate::link::Link;
 use crate::nic::Nic;
 use crate::placement::PlacementMap;
+use crate::rng::DetRng;
 use crate::time::SimTime;
 use crate::torus::Torus3;
 
@@ -26,10 +28,25 @@ pub struct Delivery {
     pub hops: u32,
 }
 
+/// Outcome of a send on a network that may inject faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message arrived; same meaning as [`Network::send`]'s return.
+    Delivered(Delivery),
+    /// The message was lost. Resources consumed before the loss point
+    /// (TX engine, links already traversed) stay consumed.
+    Dropped {
+        /// Simulated time at which the message vanished.
+        at: SimTime,
+        /// What claimed it.
+        reason: DropReason,
+    },
+}
+
 /// Aggregate traffic counters for a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetCounters {
-    /// Inter-node messages sent.
+    /// Inter-node messages sent (attempted; includes dropped ones).
     pub messages: u64,
     /// Intra-node (shared-memory) deliveries.
     pub local_messages: u64,
@@ -39,6 +56,17 @@ pub struct NetCounters {
     pub stream_misses: u64,
     /// Total physical hops traversed.
     pub hops: u64,
+    /// Messages lost to injected faults.
+    pub dropped: u64,
+}
+
+/// Interpreted fault state: per-node crash instants plus transient-loss
+/// windows and their dedicated RNG stream. Present only when the plan is
+/// non-empty, so fault-free runs never touch any of it.
+struct FaultCtx {
+    crash_time: Vec<Option<SimTime>>,
+    drop_windows: Vec<DropWindow>,
+    drop_rng: DetRng,
 }
 
 /// The simulated interconnect: torus, links, and one NIC per logical node.
@@ -49,6 +77,7 @@ pub struct Network {
     links: Vec<Link>,
     nics: Vec<Nic>,
     counters: NetCounters,
+    faults: Option<FaultCtx>,
 }
 
 impl Network {
@@ -64,7 +93,9 @@ impl Network {
         };
         let placement = PlacementMap::build(cfg.placement, n_nodes, &torus);
         let links = vec![Link::default(); torus.link_count()];
-        let nics = (0..n_nodes).map(|_| Nic::new(cfg.stream_contexts)).collect();
+        let nics = (0..n_nodes)
+            .map(|_| Nic::new(cfg.stream_contexts))
+            .collect();
         Network {
             cfg,
             torus,
@@ -72,12 +103,79 @@ impl Network {
             links,
             nics,
             counters: NetCounters::default(),
+            faults: None,
         }
+    }
+
+    /// Builds the network with an injected [`FaultPlan`]. An empty plan
+    /// yields a network indistinguishable from [`Network::new`]'s — no
+    /// fault state is installed and [`Network::send_faulted`] takes the
+    /// plain [`Network::send`] path.
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`], names a node
+    /// outside `0..n_nodes`, or faults a link outside the torus.
+    pub fn with_faults(cfg: NetworkConfig, n_nodes: u32, plan: &FaultPlan) -> Self {
+        let mut net = Network::new(cfg, n_nodes);
+        if plan.is_empty() {
+            return net;
+        }
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        for f in &plan.link_faults {
+            let id = f.slot as usize * 6 + usize::from(f.dir);
+            assert!(
+                id < net.links.len(),
+                "link fault slot {} outside the torus",
+                f.slot
+            );
+            match f.mode {
+                LinkMode::Fail => net.links[id].set_outage(f.at, f.until),
+                LinkMode::Degrade(factor) => net.links[id].set_degrade(f.at, f.until, factor),
+            }
+        }
+        let mut crash_time = vec![None; n_nodes as usize];
+        for c in &plan.node_crashes {
+            assert!(
+                c.node < n_nodes,
+                "crash of node {} outside population",
+                c.node
+            );
+            crash_time[c.node as usize] = Some(c.at);
+        }
+        net.faults = Some(FaultCtx {
+            crash_time,
+            drop_windows: plan.drop_windows.clone(),
+            drop_rng: DetRng::new(cfg.fault_seed).fork(0xD20B),
+        });
+        net
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.cfg
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Whether `node` is dead (its scheduled crash instant has passed) at
+    /// time `at`. Always false without a fault plan.
+    pub fn node_dead(&self, node: u32, at: SimTime) -> bool {
+        match &self.faults {
+            Some(f) => f.crash_time[node as usize].is_some_and(|t| at >= t),
+            None => false,
+        }
+    }
+
+    /// Marks `node`'s NIC dead. Called by the runtime when it processes the
+    /// node's crash event; the time-aware drop decisions use the plan's
+    /// crash instants, this just keeps the hardware state observable.
+    pub fn kill_node(&mut self, node: u32) {
+        self.nics[node as usize].kill();
     }
 
     /// Number of logical nodes.
@@ -104,11 +202,8 @@ impl Network {
         }
 
         // Transmit engine: software overhead + injection DMA.
-        let entered = self.nics[src as usize].reserve_tx(
-            now,
-            self.cfg.tx_overhead,
-            self.cfg.inj_time(bytes),
-        );
+        let entered =
+            self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
 
         // Cut-through over the dimension-order route: the head pays hop
         // latency per link; the body's serialisation time is reserved on
@@ -120,7 +215,8 @@ impl Network {
         let hops = route.len() as u32;
         let mut head = entered;
         for link_id in route {
-            head = self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
+            head =
+                self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
         }
         let arrival = head + occupancy;
 
@@ -142,6 +238,107 @@ impl Network {
             stream_miss,
             hops,
         }
+    }
+
+    /// Sends under the installed fault plan. Without a plan this is
+    /// exactly [`Network::send`]; with one, the message can be lost to a
+    /// dead endpoint, a failed link on its route, or a transient-loss
+    /// window, and traverses degraded links at their slowed rate.
+    pub fn send_faulted(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> SendOutcome {
+        if self.faults.is_none() {
+            return SendOutcome::Delivered(self.send(now, src, dst, bytes));
+        }
+        if self.node_dead(src, now) {
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped {
+                at: now,
+                reason: DropReason::SourceDead,
+            };
+        }
+        if src == dst {
+            // Intra-node copies move through host memory, not the NIC, so
+            // network faults cannot touch them.
+            self.counters.local_messages += 1;
+            return SendOutcome::Delivered(Delivery {
+                at: now + self.cfg.shm_latency,
+                stream_miss: false,
+                hops: 0,
+            });
+        }
+
+        let entered =
+            self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
+        let occupancy = self.cfg.link_time(bytes);
+        let route = self
+            .torus
+            .route_links(self.placement.slot(src), self.placement.slot(dst));
+        let hops = route.len() as u32;
+        let mut head = entered;
+        // Cut-through as in `send`, except a degraded link slows its own
+        // serialisation and the end-to-end drain is set by the slowest
+        // link the body crosses.
+        let mut drain = occupancy;
+        for (traversed, link_id) in route.into_iter().enumerate() {
+            let link = &mut self.links[link_id as usize];
+            if link.is_down(head) {
+                self.counters.messages += 1;
+                self.counters.bytes += bytes;
+                self.counters.hops += traversed as u64;
+                self.counters.dropped += 1;
+                return SendOutcome::Dropped {
+                    at: head,
+                    reason: DropReason::LinkDown,
+                };
+            }
+            let scaled = scale_time(occupancy, link.occupancy_factor(head));
+            drain = drain.max(scaled);
+            head = link.reserve(head, scaled, bytes) + self.cfg.hop_latency;
+        }
+        let arrival = head + drain;
+
+        let faults = self.faults.as_mut().expect("checked above");
+        if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
+            self.counters.messages += 1;
+            self.counters.bytes += bytes;
+            self.counters.hops += u64::from(hops);
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped {
+                at: arrival,
+                reason: DropReason::DestDead,
+            };
+        }
+        for w in &faults.drop_windows {
+            if arrival >= w.from && arrival < w.until {
+                if faults.drop_rng.f64() < w.probability {
+                    self.counters.messages += 1;
+                    self.counters.bytes += bytes;
+                    self.counters.hops += u64::from(hops);
+                    self.counters.dropped += 1;
+                    return SendOutcome::Dropped {
+                        at: arrival,
+                        reason: DropReason::Transient,
+                    };
+                }
+                break;
+            }
+        }
+
+        let (at, stream_miss) = self.nics[dst as usize].reserve_rx(
+            src,
+            arrival,
+            self.cfg.rx_base,
+            self.cfg.rx_time(bytes),
+            self.cfg.stream_miss_penalty,
+        );
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.hops += u64::from(hops);
+        self.counters.stream_misses += u64::from(stream_miss);
+        SendOutcome::Delivered(Delivery {
+            at,
+            stream_miss,
+            hops,
+        })
     }
 
     /// Aggregate traffic counters.
@@ -174,6 +371,16 @@ impl Network {
     /// once).
     pub fn total_link_bytes(&self) -> u64 {
         self.links.iter().map(Link::bytes).sum()
+    }
+}
+
+/// Scales a span by a slow-down factor (identity for healthy links, so the
+/// fault-free arithmetic stays exact integer nanoseconds).
+fn scale_time(t: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        t
+    } else {
+        SimTime::from_nanos((t.as_nanos() as f64 * factor).round() as u64)
     }
 }
 
@@ -341,5 +548,151 @@ mod tests {
             ..NetworkConfig::default()
         };
         Network::new(cfg, 9);
+    }
+
+    use crate::fault::{DropReason, FaultPlan};
+
+    #[test]
+    fn empty_plan_behaves_exactly_like_no_plan() {
+        let cfg = NetworkConfig::default();
+        let mut plain = Network::new(cfg, 16);
+        let mut faulted = Network::with_faults(cfg, 16, &FaultPlan::new());
+        assert!(!faulted.faults_enabled());
+        for (src, dst, bytes) in [(1, 0, 4_096u64), (5, 0, 64), (3, 3, 128), (9, 2, 10_000)] {
+            let a = plain.send(SimTime::ZERO, src, dst, bytes);
+            let b = faulted.send_faulted(SimTime::ZERO, src, dst, bytes);
+            assert_eq!(b, SendOutcome::Delivered(a));
+        }
+        assert_eq!(plain.counters(), faulted.counters());
+        assert_eq!(faulted.counters().dropped, 0);
+    }
+
+    #[test]
+    fn dead_source_drops_at_send_time() {
+        let plan = FaultPlan::new().crash_node(SimTime::from_micros(10), 4);
+        let mut net = Network::with_faults(NetworkConfig::default(), 8, &plan);
+        // Before the crash the node still sends.
+        let before = net.send_faulted(SimTime::ZERO, 4, 0, 64);
+        assert!(matches!(before, SendOutcome::Delivered(_)));
+        let after = net.send_faulted(SimTime::from_micros(10), 4, 0, 64);
+        assert_eq!(
+            after,
+            SendOutcome::Dropped {
+                at: SimTime::from_micros(10),
+                reason: DropReason::SourceDead
+            }
+        );
+        assert_eq!(net.counters().dropped, 1);
+    }
+
+    #[test]
+    fn message_arriving_after_dest_crash_is_lost() {
+        // The crash instant falls between send time and arrival: the
+        // message is already in flight and vanishes at the dead NIC.
+        let plan = FaultPlan::new().crash_node(SimTime::from_nanos(2_000), 0);
+        let mut net = Network::with_faults(NetworkConfig::default(), 8, &plan);
+        match net.send_faulted(SimTime::ZERO, 7, 0, 4_096) {
+            SendOutcome::Dropped { at, reason } => {
+                assert_eq!(reason, DropReason::DestDead);
+                assert!(at >= SimTime::from_nanos(2_000));
+            }
+            other => panic!("expected a dest-dead drop, got {other:?}"),
+        }
+        assert_eq!(net.counters().dropped, 1);
+        assert!(net.node_dead(0, SimTime::from_nanos(2_000)));
+        assert!(!net.node_dead(0, SimTime::from_nanos(1_999)));
+    }
+
+    #[test]
+    fn failed_link_swallows_the_message() {
+        let cfg = NetworkConfig::default();
+        let probe = Network::new(cfg, 8);
+        let route = probe
+            .torus
+            .route_links(probe.placement.slot(3), probe.placement.slot(0));
+        let first = route[0];
+        let plan = FaultPlan::new().fail_link(first / 6, (first % 6) as u8, SimTime::ZERO, None);
+        let mut net = Network::with_faults(cfg, 8, &plan);
+        match net.send_faulted(SimTime::ZERO, 3, 0, 64) {
+            SendOutcome::Dropped { reason, .. } => assert_eq!(reason, DropReason::LinkDown),
+            other => panic!("expected a link-down drop, got {other:?}"),
+        }
+        // Once the outage clears, the same route works again.
+        let plan2 = FaultPlan::new().fail_link(
+            first / 6,
+            (first % 6) as u8,
+            SimTime::ZERO,
+            Some(SimTime::from_nanos(1)),
+        );
+        let mut net2 = Network::with_faults(cfg, 8, &plan2);
+        let late = net2.send_faulted(SimTime::from_micros(100), 3, 0, 64);
+        assert!(matches!(late, SendOutcome::Delivered(_)));
+    }
+
+    #[test]
+    fn degraded_link_slows_delivery() {
+        let cfg = NetworkConfig::default();
+        let probe = Network::new(cfg, 8);
+        let route = probe
+            .torus
+            .route_links(probe.placement.slot(3), probe.placement.slot(0));
+        let first = route[0];
+        let plan =
+            FaultPlan::new().degrade_link(first / 6, (first % 6) as u8, SimTime::ZERO, None, 8.0);
+        let mut slow = Network::with_faults(cfg, 8, &plan);
+        let mut fast = Network::new(cfg, 8);
+        let slow_at = match slow.send_faulted(SimTime::ZERO, 3, 0, 60_000) {
+            SendOutcome::Delivered(d) => d.at,
+            other => panic!("degraded link should still deliver, got {other:?}"),
+        };
+        let fast_at = fast.send(SimTime::ZERO, 3, 0, 60_000).at;
+        assert!(slow_at > fast_at, "{slow_at:?} <= {fast_at:?}");
+    }
+
+    #[test]
+    fn drop_window_loses_messages_deterministically() {
+        let plan = FaultPlan::new().drop_window(SimTime::ZERO, SimTime::from_secs(1), 0.5);
+        let run = |seed: u64| {
+            let cfg = NetworkConfig {
+                fault_seed: seed,
+                ..NetworkConfig::default()
+            };
+            let mut net = Network::with_faults(cfg, 32, &plan);
+            let mut t = SimTime::ZERO;
+            let mut outcomes = Vec::new();
+            for i in 0..200u32 {
+                let src = 1 + (i % 31);
+                let out = net.send_faulted(t, src, 0, 256);
+                if let SendOutcome::Delivered(d) = out {
+                    t = d.at;
+                }
+                outcomes.push(out);
+            }
+            (outcomes, net.counters())
+        };
+        let (a, ca) = run(7);
+        let (b, cb) = run(7);
+        assert_eq!(a, b, "same fault seed must lose the same messages");
+        assert_eq!(ca, cb);
+        assert!(ca.dropped > 0, "p=0.5 over 200 sends should drop some");
+        assert!(ca.dropped < 200, "p=0.5 over 200 sends should deliver some");
+        let (_, cc) = run(8);
+        assert_ne!(ca.dropped, cc.dropped, "different seeds should diverge");
+    }
+
+    #[test]
+    fn killed_nic_is_observable() {
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 2);
+        let mut net = Network::with_faults(NetworkConfig::default(), 4, &plan);
+        assert!(!net.nic(2).is_dead());
+        net.kill_node(2);
+        assert!(net.nic(2).is_dead());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside population")]
+    fn crash_outside_population_panics() {
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 99);
+        Network::with_faults(NetworkConfig::default(), 4, &plan);
     }
 }

@@ -75,6 +75,7 @@ pub struct Nic {
     stream_misses: u64,
     rx_messages: u64,
     tx_messages: u64,
+    dead: bool,
 }
 
 impl Nic {
@@ -87,7 +88,19 @@ impl Nic {
             stream_misses: 0,
             rx_messages: 0,
             tx_messages: 0,
+            dead: false,
         }
+    }
+
+    /// Marks the NIC as dead (its node crashed). A dead NIC neither
+    /// transmits nor receives; the network drops traffic touching it.
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Whether the NIC's node has crashed.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Reserves the transmit engine from `earliest` for `overhead` software
@@ -207,10 +220,28 @@ mod tests {
     }
 
     #[test]
+    fn nic_starts_alive_and_stays_dead_once_killed() {
+        let mut nic = Nic::new(4);
+        assert!(!nic.is_dead());
+        nic.kill();
+        assert!(nic.is_dead());
+        nic.kill();
+        assert!(nic.is_dead());
+    }
+
+    #[test]
     fn tx_serialises_messages() {
         let mut nic = Nic::new(8);
-        let a = nic.reserve_tx(SimTime::ZERO, SimTime::from_nanos(10), SimTime::from_nanos(90));
-        let b = nic.reserve_tx(SimTime::ZERO, SimTime::from_nanos(10), SimTime::from_nanos(90));
+        let a = nic.reserve_tx(
+            SimTime::ZERO,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(90),
+        );
+        let b = nic.reserve_tx(
+            SimTime::ZERO,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(90),
+        );
         assert_eq!(a, SimTime::from_nanos(100));
         assert_eq!(b, SimTime::from_nanos(200));
         assert_eq!(nic.tx_messages(), 2);

@@ -12,8 +12,7 @@ use crate::torus::Torus3;
 use serde::{Deserialize, Serialize};
 
 /// How logical nodes are assigned to torus slots.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Placement {
     /// Logical node `i` occupies slot `i` (row-major through the torus).
     /// Physical distance then grows with rank distance, as in the paper's
@@ -34,7 +33,6 @@ pub enum Placement {
         seed: u64,
     },
 }
-
 
 /// A concrete, injective logical-node → slot assignment.
 #[derive(Clone, Debug)]

@@ -4,24 +4,31 @@
 //! through [`DetRng`], so a configuration reproduces bit-identically across
 //! runs. Independent subsystems take *forked* streams ([`DetRng::fork`]) so
 //! adding randomness in one place never perturbs another.
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through the
+//! SplitMix64 finaliser (the construction its authors recommend), so the
+//! simulator depends on no external RNG crate and its streams are stable
+//! across toolchains.
 
 /// A seeded random-number generator with deterministic sub-streams.
 pub struct DetRng {
     seed: u64,
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            seed,
-            rng: StdRng::seed_from_u64(seed),
+        // Expand the seed into xoshiro state with SplitMix64, as the
+        // xoshiro reference code does; a zero state is impossible because
+        // splitmix64 is a bijection evaluated at four distinct points.
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(s);
         }
+        DetRng { seed, state }
     }
 
     /// The root seed this generator was created from.
@@ -38,13 +45,35 @@ impl DetRng {
         DetRng::new(splitmix64(self.seed ^ splitmix64(stream)))
     }
 
-    /// A uniform value in `0..bound`.
+    /// The next raw 64-bit draw (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform value in `0..bound`, via rejection sampling (no modulo
+    /// bias).
     ///
     /// # Panics
     /// Panics if `bound == 0`.
     pub fn u64_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.rng.random_range(0..bound)
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
     /// A uniform value in `0..bound` as `usize`.
@@ -52,9 +81,9 @@ impl DetRng {
         self.u64_below(bound as u64) as usize
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
     pub fn f64(&mut self) -> f64 {
-        self.rng.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -65,7 +94,10 @@ impl DetRng {
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        slice.shuffle(&mut self.rng);
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
     }
 
     /// A random permutation of `0..n` as `u32`s.
@@ -144,6 +176,20 @@ mod tests {
         let mut rng = DetRng::new(17);
         for _ in 0..1000 {
             assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn draws_are_well_spread() {
+        // A coarse uniformity check: 8 buckets over 8k draws should each
+        // hold within 20 % of the expected count.
+        let mut rng = DetRng::new(23);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8192 {
+            buckets[rng.index(8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((819..=1229).contains(&b), "bucket count {b}");
         }
     }
 

@@ -32,8 +32,7 @@ fn main() {
             cfg.procs_per_node = 1;
             cfg.buffers_per_proc = 1;
             let sim = Simulation::build(cfg, |rank| {
-                let mut targets: Vec<Rank> =
-                    (0..n).filter(|&t| t != rank.0).map(Rank).collect();
+                let mut targets: Vec<Rank> = (0..n).filter(|&t| t != rank.0).map(Rank).collect();
                 let shift = rank.0 as usize % targets.len().max(1);
                 targets.rotate_left(shift);
                 let mut actions: Vec<Action> = targets

@@ -20,7 +20,10 @@ fn main() {
             jobs.push((t, s));
         }
     }
-    println!("running {} contention scenarios (1024 procs, fetch-&-add vs rank 0)...", jobs.len());
+    println!(
+        "running {} contention scenarios (1024 procs, fetch-&-add vs rank 0)...",
+        jobs.len()
+    );
     let outcomes = run_parallel(jobs.clone(), 0, |&(topology, scenario)| {
         let cfg = ContentionConfig {
             measure_stride: 16,
@@ -58,8 +61,10 @@ fn main() {
     };
     let fcg_collapse = mean(TopologyKind::Fcg, Scenario::pct20())
         / mean(TopologyKind::Fcg, Scenario::NoContention);
-    let mfcg_gain = mean(TopologyKind::Fcg, Scenario::pct20())
-        / mean(TopologyKind::Mfcg, Scenario::pct20());
-    println!("FCG degrades {fcg_collapse:.0}x under 20% contention (paper: ~two orders of magnitude).");
+    let mfcg_gain =
+        mean(TopologyKind::Fcg, Scenario::pct20()) / mean(TopologyKind::Mfcg, Scenario::pct20());
+    println!(
+        "FCG degrades {fcg_collapse:.0}x under 20% contention (paper: ~two orders of magnitude)."
+    );
     println!("MFCG completes the hot-spot ops {mfcg_gain:.1}x faster than FCG at 20% contention.");
 }

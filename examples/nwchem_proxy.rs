@@ -13,7 +13,11 @@ use vt_core::TopologyKind;
 fn main() {
     // --- DFT: dynamic load balancing over a shared nxtval counter --------
     println!("DFT SiOSi3 proxy (hot-spot nxtval counter), scaled-down problem:");
-    let topologies = [TopologyKind::Fcg, TopologyKind::Mfcg, TopologyKind::Hypercube];
+    let topologies = [
+        TopologyKind::Fcg,
+        TopologyKind::Mfcg,
+        TopologyKind::Hypercube,
+    ];
     let cores = 3072u32;
     let outcomes = run_parallel(topologies.to_vec(), 0, |&topology| {
         let mut cfg = DftConfig::siosi3(cores, topology);

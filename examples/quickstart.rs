@@ -13,7 +13,11 @@ fn main() {
     // 1 024 nodes as a 32x32 meshed fully connected graph: each node keeps
     // request buffers for 62 peers instead of 1 023.
     let mfcg = Mfcg::new(1024);
-    println!("MFCG over {} nodes: shape {:?}", mfcg.num_nodes(), mfcg.shape().dims());
+    println!(
+        "MFCG over {} nodes: shape {:?}",
+        mfcg.num_nodes(),
+        mfcg.shape().dims()
+    );
     println!("  out-degree(node 0) = {}", mfcg.out_degree(0));
 
     // Lowest-dimension-first forwarding: node 1023 reaches node 0 in two
@@ -67,7 +71,10 @@ fn main() {
     );
     for (rank, stats) in report.metrics.per_rank.iter().enumerate().take(5) {
         if stats.ops > 0 {
-            println!("  rank {rank}: mean op latency {:.1} us", stats.latency_us.mean());
+            println!(
+                "  rank {rank}: mean op latency {:.1} us",
+                stats.latency_us.mean()
+            );
         }
     }
 }

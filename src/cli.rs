@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 use vt_apps::contention::{ContentionConfig, OpSpec, Scenario};
+use vt_apps::faults::FaultScenarioConfig;
 use vt_apps::gups::GupsConfig;
 use vt_apps::lu::LuConfig;
 use vt_apps::nwchem_ccsd::CcsdConfig;
@@ -65,7 +66,11 @@ impl Flags {
         } else {
             Err(format!(
                 "unknown flags: {}",
-                self.map.keys().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                self.map
+                    .keys()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))
         }
     }
@@ -84,9 +89,7 @@ pub fn parse_topology(s: &str) -> Result<TopologyKind, String> {
             .and_then(|k| k.parse::<u8>().ok())
             .filter(|&k| k >= 1)
             .map(TopologyKind::KFcg)
-            .ok_or_else(|| {
-                format!("unknown topology '{other}' (fcg|mfcg|cfcg|hypercube|kfcgN)")
-            }),
+            .ok_or_else(|| format!("unknown topology '{other}' (fcg|mfcg|cfcg|hypercube|kfcgN)")),
     }
 }
 
@@ -136,6 +139,8 @@ pub fn usage() -> String {
        dft         --cores N [--topology K] [--tasks N]          Fig. 9a\n\
        ccsd        --cores N [--topology K]                      Fig. 9b\n\
        gups        --procs N [--topology K] [--skew 0.0]         UPC-style\n\
+       faults      --topology K [--procs 256] [--ppn 4] [--ops 8]\n\
+                   [--kill-at-us 300]   forwarder-kill resilience experiment\n\
      \n\
      Topologies: fcg mfcg cfcg hypercube kfcgN. Scenarios: none 11 20 1/N.\n"
         .to_string()
@@ -211,10 +216,19 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 table.row(&[
                     kind.name().to_string(),
                     format!("{:.1}", model.cht_pool_bytes(&topo, 0) as f64 / 1048576.0),
-                    format!("{:.1}", model.master_vmrss_bytes(&topo, 0) as f64 / 1048576.0),
+                    format!(
+                        "{:.1}",
+                        model.master_vmrss_bytes(&topo, 0) as f64 / 1048576.0
+                    ),
                 ]);
             }
-            format!("{} processes ({} nodes x {} ppn)\n{}", nodes * ppn, nodes, ppn, table.render())
+            format!(
+                "{} processes ({} nodes x {} ppn)\n{}",
+                nodes * ppn,
+                nodes,
+                ppn,
+                table.render()
+            )
         }
         "contention" => {
             let topology = flags.take_topology(TopologyKind::Fcg)?;
@@ -317,6 +331,50 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 o.gups * 1e3
             )
         }
+        "faults" => {
+            let topology = flags.take_topology(TopologyKind::Mfcg)?;
+            let n_procs: u32 = flags.take("procs", 256)?;
+            let ppn: u32 = flags.take("ppn", 4)?;
+            let ops_per_rank: u32 = flags.take("ops", 8)?;
+            let kill_at_us: u64 = flags.take("kill-at-us", 300)?;
+            flags.finish()?;
+            let cfg = FaultScenarioConfig {
+                n_procs,
+                ppn,
+                ops_per_rank,
+                kill_at: vt_armci::SimTime::from_micros(kill_at_us),
+                ..FaultScenarioConfig::paper(topology)
+            };
+            if !topology.supports(cfg.num_nodes()) {
+                return Err(format!(
+                    "{} does not support {} nodes",
+                    topology.name(),
+                    cfg.num_nodes()
+                ));
+            }
+            let o = vt_apps::faults::run(&cfg);
+            format!(
+                "forwarder kill on {} ({} procs, node{} dead at {} us):\n\
+                 healthy {:.1} us -> faulted {:.1} us ({:.2}x), availability {:.3}\n\
+                 {} lost ranks, {} failed ops, {} completed ops\n\
+                 recovery: {} retries, {} reroutes, {} credit reclaims, {} dedup hits\n",
+                topology.name(),
+                n_procs,
+                o.victim,
+                kill_at_us,
+                o.healthy_seconds * 1e6,
+                o.exec_seconds * 1e6,
+                o.slowdown(),
+                o.availability,
+                o.lost_ranks,
+                o.failed_ops,
+                o.completed_ops,
+                o.retries,
+                o.reroutes,
+                o.reclaims,
+                o.dedup_hits,
+            )
+        }
         "help" | "--help" | "-h" => usage(),
         other => return Err(format!("unknown command '{other}'\n\n{}", usage())),
     };
@@ -335,7 +393,10 @@ mod tests {
     fn flags_parse_pairs() {
         let mut f = Flags::parse(&s(&["--nodes", "97", "--topology", "cfcg"])).unwrap();
         assert_eq!(f.take("nodes", 0u32).unwrap(), 97);
-        assert_eq!(f.take_topology(TopologyKind::Fcg).unwrap(), TopologyKind::Cfcg);
+        assert_eq!(
+            f.take_topology(TopologyKind::Fcg).unwrap(),
+            TopologyKind::Cfcg
+        );
         f.finish().unwrap();
     }
 
@@ -383,8 +444,20 @@ mod tests {
         let out = run_command(
             "contention",
             &s(&[
-                "--procs", "32", "--ppn", "4", "--stride", "8", "--iterations", "2",
-                "--topology", "mfcg", "--op", "fadd", "--scenario", "1/5",
+                "--procs",
+                "32",
+                "--ppn",
+                "4",
+                "--stride",
+                "8",
+                "--iterations",
+                "2",
+                "--topology",
+                "mfcg",
+                "--op",
+                "fadd",
+                "--scenario",
+                "1/5",
             ]),
         )
         .unwrap();
@@ -398,6 +471,27 @@ mod tests {
     }
 
     #[test]
+    fn faults_command_runs_small() {
+        let out = run_command(
+            "faults",
+            &s(&[
+                "--topology",
+                "mfcg",
+                "--procs",
+                "64",
+                "--ops",
+                "2",
+                "--kill-at-us",
+                "40",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("forwarder kill on mfcg"), "{out}");
+        assert!(out.contains("reroutes"), "{out}");
+        assert!(out.contains("availability 0.938"), "{out}");
+    }
+
+    #[test]
     fn unknown_command_shows_usage() {
         let err = run_command("wat", &[]).unwrap_err();
         assert!(err.contains("USAGE"));
@@ -407,9 +501,11 @@ mod tests {
     fn dot_command_renders_graphs() {
         let out = run_command("dot", &s(&["--topology", "mfcg", "--nodes", "9"])).unwrap();
         assert!(out.starts_with("graph mfcg {"));
-        let out =
-            run_command("dot", &s(&["--topology", "cfcg", "--nodes", "27", "--tree", "0"]))
-                .unwrap();
+        let out = run_command(
+            "dot",
+            &s(&["--topology", "cfcg", "--nodes", "27", "--tree", "0"]),
+        )
+        .unwrap();
         assert!(out.starts_with("digraph cfcg_tree {"));
         assert_eq!(out.matches(" -> ").count(), 26);
     }

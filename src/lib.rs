@@ -35,8 +35,7 @@ pub use vt_simnet as simnet;
 pub mod prelude {
     pub use vt_armci::{RuntimeConfig, Simulation};
     pub use vt_core::{
-        Cfcg, Fcg, Hypercube, MemoryModel, Mfcg, RequestTree, Shape, TopologyKind,
-        VirtualTopology,
+        Cfcg, Fcg, Hypercube, MemoryModel, Mfcg, RequestTree, Shape, TopologyKind, VirtualTopology,
     };
     pub use vt_ga::{GaCall, GaScript, GlobalArray, Patch};
     pub use vt_simnet::{NetworkConfig, SimTime};

@@ -6,10 +6,7 @@ use vt_armci::{
 };
 use vt_core::TopologyKind;
 
-fn run_scripts(
-    cfg: RuntimeConfig,
-    mk: impl Fn(Rank) -> Vec<Action>,
-) -> vt_armci::Report {
+fn run_scripts(cfg: RuntimeConfig, mk: impl Fn(Rank) -> Vec<Action>) -> vt_armci::Report {
     Simulation::build(cfg, |rank| ScriptProgram::new(mk(rank)))
         .run()
         .expect("no deadlock")
@@ -38,7 +35,11 @@ fn ops_to_own_rank_complete_quickly() {
     let report = run_scripts(cfg, |rank| vec![Action::Op(Op::acc(rank, 8192))]);
     for s in &report.metrics.per_rank {
         assert_eq!(s.ops, 1);
-        assert!(s.latency_us.mean() < 10.0, "self acc {}us", s.latency_us.mean());
+        assert!(
+            s.latency_us.mean() < 10.0,
+            "self acc {}us",
+            s.latency_us.mean()
+        );
     }
 }
 

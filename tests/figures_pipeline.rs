@@ -12,9 +12,7 @@ use vt_core::{MemoryModel, TopologyKind};
 #[test]
 fn fig5_fcg_grows_linearly_and_others_sublinearly() {
     let model = MemoryModel::default();
-    let inc = |kind: TopologyKind, nodes: u32| {
-        model.increment_bytes(&kind.build(nodes), 0) as f64
-    };
+    let inc = |kind: TopologyKind, nodes: u32| model.increment_bytes(&kind.build(nodes), 0) as f64;
     // FCG: doubling nodes doubles the increment.
     let r = inc(TopologyKind::Fcg, 1024) / inc(TopologyKind::Fcg, 512);
     assert!((r - 2.0).abs() < 0.05, "FCG ratio {r}");
@@ -40,7 +38,10 @@ fn fig5_orderings_match_paper_at_12288_processes() {
     // 812 MB.
     assert!(incs.windows(2).all(|w| w[0].1 > w[1].1));
     let fcg_mb = incs[0].1 as f64 / 1048576.0;
-    assert!((700.0..900.0).contains(&fcg_mb), "FCG increment {fcg_mb} MB");
+    assert!(
+        (700.0..900.0).contains(&fcg_mb),
+        "FCG increment {fcg_mb} MB"
+    );
 }
 
 // ---- Figure 8: NAS LU ---------------------------------------------------

@@ -73,11 +73,7 @@ fn ga_patches_crossing_many_owners_fan_out() {
     });
     let report = sim.run().unwrap();
     assert_eq!(report.metrics.per_rank[0].ops, 16);
-    let total_bytes: u64 = ga
-        .get_patch(full)
-        .iter()
-        .map(|op| op.bytes)
-        .sum();
+    let total_bytes: u64 = ga.get_patch(full).iter().map(|op| op.bytes).sum();
     assert_eq!(total_bytes, 256 * 256 * 8);
 }
 

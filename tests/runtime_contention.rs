@@ -22,7 +22,11 @@ fn fcg_collapses_under_hot_spot_contention() {
         OpSpec::fetch_add(),
         Scenario::NoContention,
     ));
-    let loud = run(&cfg(TopologyKind::Fcg, OpSpec::fetch_add(), Scenario::pct20()));
+    let loud = run(&cfg(
+        TopologyKind::Fcg,
+        OpSpec::fetch_add(),
+        Scenario::pct20(),
+    ));
     let ratio = loud.mean_us() / quiet.mean_us();
     assert!(
         ratio > 50.0,
@@ -40,8 +44,16 @@ fn fcg_collapses_under_hot_spot_contention() {
 fn mfcg_attenuates_contention() {
     // Paper §V-B3: "With 20% contention, it becomes faster to complete
     // atomic operations for nearly all processes using MFCG than FCG."
-    let fcg = run(&cfg(TopologyKind::Fcg, OpSpec::fetch_add(), Scenario::pct20()));
-    let mfcg = run(&cfg(TopologyKind::Mfcg, OpSpec::fetch_add(), Scenario::pct20()));
+    let fcg = run(&cfg(
+        TopologyKind::Fcg,
+        OpSpec::fetch_add(),
+        Scenario::pct20(),
+    ));
+    let mfcg = run(&cfg(
+        TopologyKind::Mfcg,
+        OpSpec::fetch_add(),
+        Scenario::pct20(),
+    ));
     assert!(
         mfcg.mean_us() * 3.0 < fcg.mean_us(),
         "MFCG must be well ahead under contention: mfcg {:.1} vs fcg {:.1}",
@@ -69,9 +81,7 @@ fn mfcg_attenuates_contention() {
 fn no_contention_ranking_follows_forwarding_depth() {
     // Paper Figs. 6a/6d/7a/7d: without contention the direct FCG path is
     // fastest and each extra forwarding step costs more.
-    let mean = |kind| {
-        run(&cfg(kind, OpSpec::vector_put(), Scenario::NoContention)).mean_us()
-    };
+    let mean = |kind| run(&cfg(kind, OpSpec::vector_put(), Scenario::NoContention)).mean_us();
     let fcg = mean(TopologyKind::Fcg);
     let mfcg = mean(TopologyKind::Mfcg);
     let cfcg = mean(TopologyKind::Cfcg);
@@ -86,8 +96,16 @@ fn no_contention_ranking_follows_forwarding_depth() {
 
 #[test]
 fn contention_at_11_percent_sits_below_20_percent() {
-    let low = run(&cfg(TopologyKind::Fcg, OpSpec::fetch_add(), Scenario::pct11()));
-    let high = run(&cfg(TopologyKind::Fcg, OpSpec::fetch_add(), Scenario::pct20()));
+    let low = run(&cfg(
+        TopologyKind::Fcg,
+        OpSpec::fetch_add(),
+        Scenario::pct11(),
+    ));
+    let high = run(&cfg(
+        TopologyKind::Fcg,
+        OpSpec::fetch_add(),
+        Scenario::pct20(),
+    ));
     assert!(
         low.mean_us() < high.mean_us(),
         "11% ({:.1}) must hurt less than 20% ({:.1})",

@@ -22,7 +22,8 @@ fn storm(kind: TopologyKind, n: u32, ppn: u32, buffers: u32) -> vt_armci::Report
         actions.push(Action::Barrier);
         vt_armci::ScriptProgram::new(actions)
     });
-    sim.run().unwrap_or_else(|e| panic!("{kind} over {n} nodes deadlocked: {e}"))
+    sim.run()
+        .unwrap_or_else(|e| panic!("{kind} over {n} nodes deadlocked: {e}"))
 }
 
 #[test]

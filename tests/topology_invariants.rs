@@ -3,9 +3,7 @@
 //! population, and the resource-graph metrics scale as §III states.
 
 use proptest::prelude::*;
-use vt_core::{
-    DependencyGraph, RequestTree, TopologyKind, VirtualTopology,
-};
+use vt_core::{DependencyGraph, RequestTree, TopologyKind, VirtualTopology};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,0 +1,137 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the small slice of proptest the workspace tests rely on:
+//!
+//! * the [`proptest!`] macro with `pat in strategy` and `name: type`
+//!   arguments and an optional `#![proptest_config(..)]` header,
+//! * integer-range, tuple, [`Just`], `any::<T>()`, `prop_oneof!` and
+//!   `prop_map` strategies,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: generation is deterministic (seeded from the
+//! test's module path and name, so runs reproduce bit-identically without
+//! regression files) and there is **no shrinking** — a failing case prints
+//! its generated inputs and panics. That trade keeps the runner ~300 lines
+//! and dependency-free while preserving the property-test workflow.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($s),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(args) { body }` becomes a
+/// `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: splits the body of `proptest!` into individual test fns.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($args:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! { ($cfg) [$(#[$meta])*] fn $name [$($args)*] [] $body }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: munches one test's argument list into `(pattern, strategy)`
+/// pairs (`name: ty` sugar becomes `name in any::<ty>()`), then emits the
+/// test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // -- argument munchers -------------------------------------------------
+    ( ($cfg:expr) [$(#[$meta:meta])*] fn $name:ident
+      [$pat:pat in $strat:expr, $($rest:tt)*] [$($acc:tt)*] $body:block ) => {
+        $crate::__proptest_case! { ($cfg) [$(#[$meta])*] fn $name
+            [$($rest)*] [$($acc)* {$pat, $strat}] $body }
+    };
+    ( ($cfg:expr) [$(#[$meta:meta])*] fn $name:ident
+      [$pat:pat in $strat:expr] [$($acc:tt)*] $body:block ) => {
+        $crate::__proptest_case! { ($cfg) [$(#[$meta])*] fn $name
+            [] [$($acc)* {$pat, $strat}] $body }
+    };
+    ( ($cfg:expr) [$(#[$meta:meta])*] fn $name:ident
+      [$arg:ident : $ty:ty, $($rest:tt)*] [$($acc:tt)*] $body:block ) => {
+        $crate::__proptest_case! { ($cfg) [$(#[$meta])*] fn $name
+            [$($rest)*] [$($acc)* {$arg, $crate::strategy::any::<$ty>()}] $body }
+    };
+    ( ($cfg:expr) [$(#[$meta:meta])*] fn $name:ident
+      [$arg:ident : $ty:ty] [$($acc:tt)*] $body:block ) => {
+        $crate::__proptest_case! { ($cfg) [$(#[$meta])*] fn $name
+            [] [$($acc)* {$arg, $crate::strategy::any::<$ty>()}] $body }
+    };
+    // -- emission ----------------------------------------------------------
+    ( ($cfg:expr) [$(#[$meta:meta])*] fn $name:ident
+      [] [$({$pat:pat, $strat:expr})*] $body:block ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __value =
+                        $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    __inputs.push(::std::format!(
+                        "  {} = {:?}", stringify!($pat), __value));
+                    let $pat = __value;
+                )*
+                let __guard = $crate::test_runner::CaseGuard::new(
+                    stringify!($name), __case, __inputs);
+                $body
+                ::std::mem::drop(__guard);
+            }
+        }
+    };
+}

@@ -1,0 +1,133 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro: per-case RNG seeding and failure reporting.
+
+/// Number of cases to run per property (overridable per block with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many generated cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 — the same finaliser `vt-simnet` uses for seed scrambling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A small deterministic RNG (SplitMix64 stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG for one `(test, case)` pair: a hash of the test's
+    /// path mixed with the case index, so every test and case draws an
+    /// independent, reproducible stream.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: splitmix64(h ^ splitmix64(u64::from(case))),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform value in `0..bound` (panics if `bound == 0`). Uses rejection
+    /// sampling so the distribution is exactly uniform.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Prints the generated inputs of a failing case. Armed for the duration
+/// of a case body; only reports when dropped during a panic.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    inputs: Vec<String>,
+}
+
+impl CaseGuard {
+    /// Arms the guard with the case's rendered inputs.
+    pub fn new(name: &'static str, case: u32, inputs: Vec<String>) -> Self {
+        CaseGuard { name, case, inputs }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} with inputs:\n{}",
+                self.name,
+                self.case,
+                self.inputs.join("\n")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn cases_diverge() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut rng = TestRng::for_case("below", 0);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive` for the rationale: the workspace derives
+//! `Serialize`/`Deserialize` as forward-looking markers but never calls a
+//! serialiser, so the derives can safely expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
