@@ -154,6 +154,9 @@ pub struct ContentionConfig {
     /// by their `M` credits) instead of blocking one at a time — this makes
     /// the buffer-provisioning ablation sensitive to `M`.
     pub pipelined_contenders: bool,
+    /// Override of the request-coalescing policy (ablations). `None` keeps
+    /// the runtime default (off).
+    pub coalesce: Option<vt_armci::CoalesceConfig>,
 }
 
 impl ContentionConfig {
@@ -173,6 +176,7 @@ impl ContentionConfig {
             placement: None,
             net: None,
             pipelined_contenders: false,
+            coalesce: None,
         }
     }
 }
@@ -186,8 +190,17 @@ pub struct ContentionOutcome {
     pub finish: SimTime,
     /// BEER slow-path events over the run.
     pub stream_misses: u64,
-    /// Requests forwarded by intermediate CHTs.
+    /// Requests forwarded by intermediate CHTs (envelope members count
+    /// individually).
     pub forwards: u64,
+    /// Physical forwarding messages (equals `forwards` with coalescing off).
+    pub fwd_messages: u64,
+    /// Coalesced envelopes assembled over the run.
+    pub envelopes: u64,
+    /// Member requests carried inside envelopes.
+    pub coalesced: u64,
+    /// Total network messages.
+    pub messages: u64,
 }
 
 impl ContentionOutcome {
@@ -347,6 +360,9 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
     if let Some(p) = cfg.placement {
         rt.net.placement = p;
     }
+    if let Some(c) = cfg.coalesce {
+        rt.coalesce = c;
+    }
 
     let measured: Vec<Rank> = (cfg.ppn..cfg.n_procs)
         .step_by(cfg.measure_stride.max(1) as usize)
@@ -390,6 +406,10 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
         finish: report.finish_time,
         stream_misses: report.net.stream_misses,
         forwards: report.cht_totals.forwarded,
+        fwd_messages: report.cht_totals.fwd_messages,
+        envelopes: report.cht_totals.envelopes,
+        coalesced: report.cht_totals.coalesced,
+        messages: report.net.messages,
     }
 }
 
@@ -412,6 +432,7 @@ mod tests {
             placement: None,
             net: None,
             pipelined_contenders: false,
+            coalesce: None,
         }
     }
 
@@ -461,6 +482,29 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_attenuates_forwarding_traffic() {
+        let mut off = tiny(TopologyKind::Mfcg, Scenario::pct20());
+        off.pipelined_contenders = true;
+        let mut on = off;
+        on.coalesce = Some(vt_armci::CoalesceConfig::on());
+        let a = run(&off);
+        let b = run(&on);
+        // Same logical forwarding work, fewer physical messages.
+        assert_eq!(a.fwd_messages, a.forwards);
+        assert!(b.envelopes > 0, "no envelopes formed");
+        assert_eq!(b.coalesced + (b.fwd_messages - b.envelopes), b.forwards);
+        assert!(b.fwd_messages < b.forwards);
+        assert!(b.messages < a.messages);
+        // Coalescing must not slow the hot-spot workload down.
+        assert!(
+            b.finish <= a.finish,
+            "coalesced run slower: {} vs {}",
+            b.finish,
+            a.finish
+        );
+    }
+
+    #[test]
     fn scenario_labels() {
         assert_eq!(Scenario::NoContention.label(), "no contention");
         assert_eq!(Scenario::pct11().label(), "11% contention");
@@ -474,6 +518,10 @@ mod tests {
             finish: SimTime::ZERO,
             stream_misses: 0,
             forwards: 0,
+            fwd_messages: 0,
+            envelopes: 0,
+            coalesced: 0,
+            messages: 0,
         };
         let s = out.series("fcg");
         assert_eq!(s.points, vec![(4.0, 10.0), (8.0, 30.0)]);

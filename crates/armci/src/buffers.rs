@@ -14,6 +14,13 @@ use crate::ids::{NodeId, Sender};
 use std::collections::HashMap;
 
 /// A sender's credit account on one directed virtual-topology edge.
+///
+/// A coalesced forwarding envelope occupies exactly **one** credit on its
+/// `(edge, class)` account regardless of how many member requests it
+/// carries, and is released by a single aggregated acknowledgement once the
+/// downstream server has dealt with every member. Coalescing therefore only
+/// ever *reduces* the credits in flight on an edge — it cannot introduce
+/// buffer-dependency cycles the uncoalesced LDF order did not have.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CreditKey {
     /// Who sends.
@@ -26,6 +33,19 @@ pub struct CreditKey {
     /// own credit pool on the same edge so the buffer-dependency graph over
     /// `(edge, class)` stays acyclic under any dead set.
     pub class: u8,
+}
+
+impl CreditKey {
+    /// The forwarding CHT of `from`'s account on the edge `from -> to` in
+    /// escape class `class` — the account a forwarded request (or a whole
+    /// coalesced envelope) draws its downstream buffer from.
+    pub fn cht(from: NodeId, to: NodeId, class: u8) -> Self {
+        CreditKey {
+            sender: Sender::Cht(from),
+            edge: (from, to),
+            class,
+        }
+    }
 }
 
 /// Tracks in-flight request counts per `(sender, edge)` with a FIFO queue
@@ -120,6 +140,35 @@ impl CreditManager {
         }
         *used -= 1;
         None
+    }
+
+    /// Removes and returns the waiters on `key` accepted by `take`, in FIFO
+    /// order, leaving the rejected ones queued in their original order.
+    /// Used by the coalescing layer: forwards parked on an exhausted
+    /// account can ride a departing envelope's single credit instead of
+    /// each waiting for one of their own.
+    pub fn take_waiters(
+        &mut self,
+        key: CreditKey,
+        mut take: impl FnMut(&Waiter) -> bool,
+    ) -> Vec<Waiter> {
+        let Some(queue) = self.waiters.get_mut(&key) else {
+            return Vec::new();
+        };
+        let mut taken = Vec::new();
+        let mut rest = std::collections::VecDeque::new();
+        while let Some(w) = queue.pop_front() {
+            if take(&w) {
+                taken.push(w);
+            } else {
+                rest.push_back(w);
+            }
+        }
+        *queue = rest;
+        if queue.is_empty() {
+            self.waiters.remove(&key);
+        }
+        taken
     }
 
     /// Number of credits currently in flight for `key`.
@@ -233,6 +282,30 @@ mod tests {
         cm.try_acquire(k);
         cm.release(k);
         cm.release(k);
+    }
+
+    #[test]
+    fn take_waiters_filters_in_fifo_order() {
+        let mut cm = CreditManager::new(1);
+        let k = key(Sender::Cht(4));
+        assert!(cm.try_acquire(k));
+        for req in 10..14 {
+            cm.wait(k, Waiter::Fwd { node: 4, req });
+        }
+        // Take the even request ids only.
+        let taken = cm.take_waiters(k, |w| matches!(w, Waiter::Fwd { req, .. } if req % 2 == 0));
+        assert_eq!(
+            taken,
+            vec![
+                Waiter::Fwd { node: 4, req: 10 },
+                Waiter::Fwd { node: 4, req: 12 }
+            ]
+        );
+        // The odd ones are still queued, in order.
+        assert_eq!(cm.blocked_count(), 2);
+        assert_eq!(cm.release(k), Some(Waiter::Fwd { node: 4, req: 11 }));
+        assert_eq!(cm.release(k), Some(Waiter::Fwd { node: 4, req: 13 }));
+        assert_eq!(cm.take_waiters(k, |_| true), Vec::new());
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct ChtCounters {
     pub parked: u64,
     /// Largest queue depth observed.
     pub max_queue: usize,
+    /// Physical forwarding messages sent (each envelope counts once; with
+    /// coalescing off this equals `forwarded`).
+    pub fwd_messages: u64,
+    /// Coalesced envelopes assembled here.
+    pub envelopes: u64,
+    /// Member requests carried inside those envelopes.
+    pub coalesced: u64,
 }
 
 /// The runtime state of one node's CHT.
@@ -132,6 +139,21 @@ impl Cht {
     pub fn note_parked(&mut self) {
         self.counters.parked += 1;
     }
+
+    /// The queued requests behind the head, oldest first (the coalescing
+    /// scan's candidate set).
+    pub fn iter(&self) -> impl Iterator<Item = ReqId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Removes the given requests from anywhere in the queue, preserving the
+    /// order of the rest (used when queued requests fold into an envelope).
+    pub fn remove_many(&mut self, ids: &[ReqId]) {
+        if ids.is_empty() {
+            return;
+        }
+        self.queue.retain(|r| !ids.contains(r));
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +216,19 @@ mod tests {
         cht.note_parked();
         cht.note_parked();
         assert_eq!(cht.counters.parked, 2);
+    }
+
+    #[test]
+    fn remove_many_keeps_relative_order() {
+        let mut cht = Cht::new();
+        for i in 0..6 {
+            cht.enqueue(i);
+        }
+        cht.remove_many(&[1, 4]);
+        let rest: Vec<ReqId> = cht.iter().collect();
+        assert_eq!(rest, vec![0, 2, 3, 5]);
+        cht.remove_many(&[]);
+        assert_eq!(cht.queue_len(), 4);
     }
 
     #[test]

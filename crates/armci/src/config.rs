@@ -46,6 +46,12 @@ pub struct ChtConfig {
     /// `interference × cht_busy / ppn`. Forwarding-heavy topologies pay this
     /// across the machine.
     pub cht_interference: f64,
+    /// Incremental cost of folding one additional request into an envelope
+    /// already being assembled for forwarding. Envelope assembly is
+    /// pipelined with the in-flight DMA of the previous member, so this is
+    /// much cheaper than `forward_base`: the CHT pays the fixed forwarding
+    /// dispatch once per envelope instead of once per request.
+    pub envelope_fold: SimTime,
 }
 
 impl Default for ChtConfig {
@@ -62,6 +68,7 @@ impl Default for ChtConfig {
             poll_window: SimTime::from_micros(60),
             cache_ns_per_pool_mib: 8.0,
             cht_interference: 1.0,
+            envelope_fold: SimTime::from_nanos(80),
         }
     }
 }
@@ -88,6 +95,18 @@ impl ChtConfig {
     /// Service time for forwarding `op`'s request one hop.
     pub fn forward_time(&self, op: &Op) -> SimTime {
         self.forward_base + per_byte(op.request_bytes(), self.forward_per_byte_ns)
+    }
+
+    /// Service time for forwarding a coalesced envelope of `ops` one hop.
+    ///
+    /// Pays `forward_base` once, per-byte pass-through for every member, and
+    /// `envelope_fold` per member beyond the first: assembly of member *k+1*
+    /// overlaps the DMA of member *k*, so the dominant fixed cost is not
+    /// replicated the way `n` individual forwards would replicate it.
+    pub fn envelope_forward_time(&self, ops: &[Op]) -> SimTime {
+        let bytes: u64 = ops.iter().map(|op| op.request_bytes()).sum();
+        let folds = ops.len().saturating_sub(1) as u64;
+        self.forward_base + per_byte(bytes, self.forward_per_byte_ns) + self.envelope_fold * folds
     }
 }
 
@@ -139,6 +158,36 @@ impl RetryConfig {
     }
 }
 
+/// Request-coalescing policy for the CHT forwarding path.
+///
+/// When enabled, a CHT about to forward a request scans its queue for other
+/// requests taking the same outgoing LDF edge on the same buffer class and
+/// folds them into one multi-request envelope, bounded by `max_bytes`
+/// (default: the runtime's request-buffer size, 16 KiB). The envelope
+/// occupies a single downstream buffer credit and is released by a single
+/// aggregated ack on the return path. Disabled by default; a disabled run
+/// is byte-for-byte identical to a build without the coalescing layer.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CoalesceConfig {
+    /// Master switch. `false` (the default) schedules no envelope events at
+    /// all and leaves every timing decision untouched.
+    pub enabled: bool,
+    /// Upper bound on an envelope's wire size in bytes; `None` uses the
+    /// runtime's `buffer_bytes`. Requests that do not fit stay in the queue
+    /// for the next envelope (splitting happens exactly at this boundary).
+    pub max_bytes: Option<u64>,
+}
+
+impl CoalesceConfig {
+    /// A policy with coalescing switched on and the default size bound.
+    pub fn on() -> Self {
+        CoalesceConfig {
+            enabled: true,
+            max_bytes: None,
+        }
+    }
+}
+
 /// Full configuration of a simulated ARMCI job.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -171,6 +220,8 @@ pub struct RuntimeConfig {
     /// Timeout/retransmission policy (only consulted when a fault plan is
     /// installed via [`Simulation::with_faults`](crate::Simulation)).
     pub retry: RetryConfig,
+    /// Request-coalescing policy for the forwarding path (off by default).
+    pub coalesce: CoalesceConfig,
 }
 
 impl RuntimeConfig {
@@ -194,7 +245,14 @@ impl RuntimeConfig {
             record_ops: false,
             seed: 0xA2C1,
             retry: RetryConfig::default(),
+            coalesce: CoalesceConfig::default(),
         }
+    }
+
+    /// The effective envelope size bound: the explicit coalescing cap, or
+    /// the request-buffer size when none is set.
+    pub fn envelope_max_bytes(&self) -> u64 {
+        self.coalesce.max_bytes.unwrap_or(self.buffer_bytes)
     }
 
     /// Number of nodes implied by the process count and ppn.
@@ -284,6 +342,27 @@ mod tests {
         assert_eq!(r.deadline(3), r.timeout * 8);
         // Saturates instead of overflowing on absurd attempt counts.
         assert!(r.deadline(u32::MAX) >= r.deadline(20));
+    }
+
+    #[test]
+    fn coalescing_defaults_off_with_buffer_bound() {
+        let cfg = RuntimeConfig::new(16, TopologyKind::Mfcg);
+        assert!(!cfg.coalesce.enabled);
+        assert_eq!(cfg.envelope_max_bytes(), cfg.buffer_bytes);
+        let mut on = cfg;
+        on.coalesce = CoalesceConfig::on();
+        on.coalesce.max_bytes = Some(4096);
+        assert_eq!(on.envelope_max_bytes(), 4096);
+    }
+
+    #[test]
+    fn envelope_forward_beats_individual_forwards() {
+        let c = ChtConfig::default();
+        let ops = [Op::fetch_add(Rank(0), 1); 4];
+        let env = c.envelope_forward_time(&ops);
+        let singles: SimTime = ops.iter().map(|op| c.forward_time(op)).sum();
+        assert!(env < singles, "folding must amortise forward_base");
+        assert_eq!(c.envelope_forward_time(&ops[..1]), c.forward_time(&ops[0]));
     }
 
     #[test]

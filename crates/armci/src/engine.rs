@@ -19,7 +19,7 @@ use crate::cht::{Cht, ChtCounters};
 use crate::config::RuntimeConfig;
 use crate::ids::{NodeId, Rank, ReqId, Sender};
 use crate::layout::Layout;
-use crate::metrics::{FaultStats, Metrics};
+use crate::metrics::{CoalesceStats, FaultStats, Metrics};
 use crate::ops::{Op, OpKind};
 use crate::workload::{Action, ProcCtx, Program};
 use std::collections::{HashMap, HashSet};
@@ -51,6 +51,12 @@ enum Event {
     Timeout { req: ReqId },
     /// A scheduled node (CHT + NIC) crash fires (fault runs only).
     NodeCrash { node: NodeId },
+    /// A CHT finished assembling and dispatching a coalesced envelope
+    /// (coalescing runs only).
+    ChtEnvDone { node: NodeId, env: u32 },
+    /// A coalesced envelope finished arriving at a node (coalescing runs
+    /// only).
+    EnvelopeArrive { env: u32, node: NodeId },
 }
 
 /// An in-flight one-sided request.
@@ -88,6 +94,32 @@ struct Request {
     fwd_next: NodeId,
     /// Escape class of the chosen next hop.
     fwd_class: u8,
+    /// Envelope slab slot this copy is travelling in, or [`NO_ENV`] for an
+    /// individual message. Consumed (reset to [`NO_ENV`]) by the downstream
+    /// node when it accounts the member against the envelope's single
+    /// shared buffer credit.
+    env_slot: u32,
+}
+
+/// Sentinel: the request is not an envelope member.
+const NO_ENV: u32 = u32::MAX;
+
+/// An in-flight coalesced envelope: member requests that shared the same
+/// outgoing LDF edge and escape class at a forwarding CHT, travelling as one
+/// wire message on one downstream buffer credit.
+#[derive(Clone, Debug)]
+struct EnvState {
+    /// Member requests in queue order.
+    members: Vec<ReqId>,
+    /// Assembling (sending) node.
+    from: NodeId,
+    /// Receiving node.
+    to: NodeId,
+    /// Escape buffer class of the shared credit.
+    class: u8,
+    /// Members the receiver has not yet accounted; the envelope's credit is
+    /// released (one aggregated ack) when this reaches zero.
+    pending: u32,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -258,6 +290,11 @@ pub struct Report {
     pub top_links: Vec<(u32, u8, u64)>,
     /// Fault-recovery activity (all zero without a fault plan).
     pub faults: FaultStats,
+    /// Request-coalescing activity (all zero with coalescing off).
+    pub coalesce: CoalesceStats,
+    /// Final fetch-&-add counter value per rank — the ground truth the
+    /// differential (coalescing on vs off) tests compare.
+    pub fetch_finals: Vec<i64>,
     /// Per-operation terminal failures (timed out / unreachable), in the
     /// order they occurred.
     pub failures: Vec<SimError>,
@@ -302,6 +339,11 @@ pub struct Engine {
     credits: CreditManager,
     requests: Vec<Request>,
     free_reqs: Vec<ReqId>,
+    /// Coalesced-envelope slab (coalescing runs only).
+    envelopes: Vec<EnvState>,
+    free_envs: Vec<u32>,
+    /// Run-wide coalescing counters.
+    coalesce: CoalesceStats,
     /// Ranks currently waiting in the barrier.
     barrier_waiting: Vec<Rank>,
     barrier_scheduled: bool,
@@ -410,6 +452,9 @@ impl Engine {
             chts,
             requests: Vec::new(),
             free_reqs: Vec::new(),
+            envelopes: Vec::new(),
+            free_envs: Vec::new(),
+            coalesce: CoalesceStats::default(),
             barrier_waiting: Vec::new(),
             barrier_scheduled: false,
             done_count: 0,
@@ -493,12 +538,16 @@ impl Engine {
             cht_totals.wakeups += c.counters.wakeups;
             cht_totals.parked += c.counters.parked;
             cht_totals.max_queue = cht_totals.max_queue.max(c.counters.max_queue);
+            cht_totals.fwd_messages += c.counters.fwd_messages;
+            cht_totals.envelopes += c.counters.envelopes;
+            cht_totals.coalesced += c.counters.coalesced;
         }
         let memory_node0 = crate::memory::node_memory(&self.cfg, &self.topo, 0);
         let top_links = self.net.top_links(8);
         let lost_ranks = (0..self.cfg.n_procs)
             .filter(|&r| self.procs[r as usize].phase == Phase::Lost)
             .collect();
+        let fetch_finals = std::mem::take(&mut self.fetch_counters);
         Ok(Report {
             finish_time,
             metrics: self.metrics,
@@ -508,8 +557,10 @@ impl Engine {
             events: self.queue.processed(),
             top_links,
             faults: self.faults,
+            coalesce: self.coalesce,
             failures: self.failures,
             lost_ranks,
+            fetch_finals,
         })
     }
 
@@ -546,6 +597,8 @@ impl Engine {
             Event::BarrierRelease => self.barrier_release(now),
             Event::Timeout { req } => self.timeout_fire(now, req),
             Event::NodeCrash { node } => self.node_crash(now, node),
+            Event::ChtEnvDone { node, env } => self.cht_env_done(now, node, env),
+            Event::EnvelopeArrive { env, node } => self.envelope_arrive(now, env, node),
         }
     }
 
@@ -690,6 +743,7 @@ impl Engine {
             vc_class: 0,
             fwd_next: src_node,
             fwd_class: 0,
+            env_slot: NO_ENV,
         });
 
         if target_node == src_node {
@@ -988,7 +1042,7 @@ impl Engine {
                             // origin's timer deal with the operation.
                             self.faults.unreachable += 1;
                             self.chts[node as usize].pop_head();
-                            self.ack_upstream(now, node, req);
+                            self.ack_member(now, node, req);
                             continue;
                         }
                         HopDecision::Arrived => unreachable!("non-terminal request"),
@@ -1021,6 +1075,40 @@ impl Engine {
             }
             self.chts[node as usize].pop_head();
             self.requests[req as usize].credit_held = false;
+            if !terminal && self.cfg.coalesce.enabled {
+                let members = self.collect_fold(node, req);
+                if members.len() > 1 {
+                    // Fold: the whole batch travels on the head's single
+                    // downstream credit as one wire message.
+                    self.chts[node as usize].remove_many(&members[1..]);
+                    let ops: Vec<Op> = members
+                        .iter()
+                        .map(|&m| self.requests[m as usize].op)
+                        .collect();
+                    let head = self.requests[req as usize];
+                    let env = self.alloc_env(EnvState {
+                        members,
+                        from: node,
+                        to: head.fwd_next,
+                        class: head.fwd_class,
+                        pending: 0,
+                    });
+                    let wake = self.chts[node as usize].begin_service(
+                        now,
+                        self.cfg.cht.poll_window,
+                        self.cfg.cht.wakeup_latency,
+                    );
+                    // Assembly is pipelined with the in-flight send: each
+                    // extra member costs `envelope_fold`, not a second
+                    // `forward_base`.
+                    let dur = self.cht_pool_extra[node as usize]
+                        + self.cfg.cht.envelope_forward_time(&ops);
+                    self.cht_busy_total[node as usize] += wake + dur;
+                    self.queue
+                        .schedule(now + wake + dur, Event::ChtEnvDone { node, env });
+                    return;
+                }
+            }
             let wake = self.chts[node as usize].begin_service(
                 now,
                 self.cfg.cht.poll_window,
@@ -1036,6 +1124,271 @@ impl Engine {
             self.queue
                 .schedule(now + wake + dur, Event::ChtDone { node, req });
             return;
+        }
+    }
+
+    /// Scans the queue behind `head` (already popped, downstream credit in
+    /// hand) for requests whose next LDF hop and escape class match the
+    /// head's, folding them into one envelope as long as the wire message
+    /// fits the request-buffer bound. Returns the members, head first.
+    fn collect_fold(&mut self, node: NodeId, head: ReqId) -> Vec<ReqId> {
+        let hnext = self.requests[head as usize].fwd_next;
+        let hclass = self.requests[head as usize].fwd_class;
+        let max_bytes = self.cfg.envelope_max_bytes();
+        let sub = self.net.config().env_sub_header;
+        let mut wire = self.requests[head as usize].op.request_bytes();
+        let mut members = vec![head];
+        // Forwards parked on the head's own credit account already chose
+        // this exact (edge, class); they are the oldest candidates and ride
+        // the head's credit instead of each waiting for one of their own —
+        // the coalescing win under credit exhaustion at a hot spot.
+        let key = CreditKey {
+            sender: Sender::Cht(node),
+            edge: (node, hnext),
+            class: hclass,
+        };
+        let requests = &self.requests;
+        let parked = self.credits.take_waiters(key, |w| match w {
+            Waiter::Fwd { req, .. } => {
+                let rb = requests[*req as usize].op.request_bytes();
+                if wire + rb + sub <= max_bytes {
+                    wire += rb + sub;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        });
+        for w in parked {
+            match w {
+                Waiter::Fwd { req, .. } => members.push(req),
+                _ => unreachable!("only Fwd waiters park on a CHT account"),
+            }
+        }
+        let candidates: Vec<ReqId> = self.chts[node as usize].iter().collect();
+        for c in candidates {
+            let rc = self.requests[c as usize];
+            // Terminal-here requests are serviced, not forwarded; a
+            // credit-held request already owns a (possibly different)
+            // downstream credit that would leak if it rode the head's.
+            if rc.target_node == node || rc.credit_held {
+                continue;
+            }
+            let rb = rc.op.request_bytes();
+            if wire + rb + sub > max_bytes {
+                continue;
+            }
+            let (cnext, cclass, rerouted) = if self.faults_on() {
+                match ldf::next_hop_avoiding(
+                    &self.shape,
+                    self.layout.num_nodes(),
+                    node,
+                    rc.target_node,
+                    &self.dead,
+                ) {
+                    HopDecision::Hop(h) => {
+                        let in_dim = ldf::crossing_dim(&self.shape, rc.prev_node, node);
+                        let out_dim = ldf::crossing_dim(&self.shape, node, h);
+                        let class = if out_dim < in_dim {
+                            rc.vc_class + 1
+                        } else {
+                            rc.vc_class
+                        };
+                        (
+                            h,
+                            class,
+                            self.topo.next_hop(node, rc.target_node) != Some(h),
+                        )
+                    }
+                    // Unreachable candidates stay queued; the head-of-line
+                    // pass discards them with the proper ack.
+                    HopDecision::Unreachable => continue,
+                    HopDecision::Arrived => unreachable!("non-terminal request"),
+                }
+            } else {
+                (
+                    self.topo
+                        .next_hop(node, rc.target_node)
+                        .expect("forwarding implies a next hop"),
+                    0,
+                    false,
+                )
+            };
+            if (cnext, cclass) != (hnext, hclass) {
+                continue;
+            }
+            wire += rb + sub;
+            self.requests[c as usize].fwd_next = cnext;
+            self.requests[c as usize].fwd_class = cclass;
+            members.push(c);
+            if rerouted {
+                self.faults.reroutes += 1;
+            }
+        }
+        members
+    }
+
+    fn alloc_env(&mut self, env: EnvState) -> u32 {
+        if let Some(id) = self.free_envs.pop() {
+            self.envelopes[id as usize] = env;
+            id
+        } else {
+            self.envelopes.push(env);
+            (self.envelopes.len() - 1) as u32
+        }
+    }
+
+    fn free_env(&mut self, id: u32) {
+        // Like request slots, envelope slots are never reused under faults:
+        // in-flight drops may leave stale references behind.
+        if !self.faults_on() {
+            self.free_envs.push(id);
+        }
+    }
+
+    /// A CHT finished assembling an envelope: ack every member's upstream
+    /// buffer, restamp the members for the shared hop and put the envelope
+    /// on the wire as one message.
+    fn cht_env_done(&mut self, now: SimTime, node: NodeId, env: u32) {
+        if self.faults_on() && self.net.node_dead(node, now) {
+            // The assembling node died mid-service: every member copy dies
+            // with it; their upstream buffers come back via reclaim timers.
+            let members = self.envelopes[env as usize].members.clone();
+            for m in members {
+                self.reclaim_member(now, node, m);
+            }
+            return;
+        }
+        self.chts[node as usize].end_service(now);
+        let members = self.envelopes[env as usize].members.clone();
+        let to = self.envelopes[env as usize].to;
+        let class = self.envelopes[env as usize].class;
+        let n = members.len() as u32;
+        let payload: u64 = members
+            .iter()
+            .map(|&m| self.requests[m as usize].op.request_bytes())
+            .sum();
+        for &m in &members {
+            self.chts[node as usize].counters.forwarded += 1;
+            // Ack BEFORE restamping: the upstream release is keyed on the
+            // member's previous hop (and possibly its previous envelope).
+            self.ack_member(now, node, m);
+            let slot = &mut self.requests[m as usize];
+            slot.prev_sender = Sender::Cht(node);
+            slot.prev_node = node;
+            slot.vc_class = class;
+            slot.env_slot = env;
+        }
+        let counters = &mut self.chts[node as usize].counters;
+        counters.fwd_messages += 1;
+        counters.envelopes += 1;
+        counters.coalesced += u64::from(n);
+        self.coalesce.envelopes += 1;
+        self.coalesce.coalesced_requests += u64::from(n);
+        self.coalesce.largest_envelope = self.coalesce.largest_envelope.max(payload);
+        self.coalesce.deepest_fold = self.coalesce.deepest_fold.max(n);
+        if !self.faults_on() {
+            let d = self.net.send_envelope(now, node, to, payload, n);
+            self.queue
+                .schedule(d.at, Event::EnvelopeArrive { env, node: to });
+        } else {
+            match self.net.send_envelope_faulted(now, node, to, payload, n) {
+                SendOutcome::Delivered(d) => {
+                    self.queue
+                        .schedule(d.at, Event::EnvelopeArrive { env, node: to });
+                }
+                SendOutcome::Dropped { at, .. } => {
+                    // The envelope (and every member copy inside it) is
+                    // destroyed; its single downstream credit comes back via
+                    // the sender's reclaim timer and the origins' response
+                    // timers recover the operations.
+                    self.reclaim_later(at, CreditKey::cht(node, to, class));
+                }
+            }
+        }
+        if self.chts[node as usize].queue_len() > 0 {
+            self.queue.schedule(now, Event::ChtTryStart { node });
+        }
+    }
+
+    /// A coalesced envelope landed: unpack the members into the CHT queue.
+    /// The envelope's single credit stays held until every member has been
+    /// dealt with here (serviced, forwarded or discarded).
+    fn envelope_arrive(&mut self, now: SimTime, env: u32, node: NodeId) {
+        let members = self.envelopes[env as usize].members.clone();
+        self.envelopes[env as usize].pending = members.len() as u32;
+        let mut start = false;
+        for m in members {
+            start |= self.chts[node as usize].enqueue(m);
+        }
+        if start {
+            self.queue.schedule(now, Event::ChtTryStart { node });
+        }
+    }
+
+    /// Frees the upstream buffer held by `req`'s last hop into `node`. An
+    /// individual request gets its own ack ([`Engine::ack_upstream`]); an
+    /// envelope member instead decrements its envelope's pending count, and
+    /// the last member out sends ONE aggregated ack releasing the
+    /// envelope's single credit — the paper's reply aggregation on the
+    /// return path.
+    fn ack_member(&mut self, now: SimTime, node: NodeId, req: ReqId) {
+        let slot = self.requests[req as usize].env_slot;
+        if slot == NO_ENV {
+            self.ack_upstream(now, node, req);
+            return;
+        }
+        self.requests[req as usize].env_slot = NO_ENV;
+        let env = &mut self.envelopes[slot as usize];
+        debug_assert_eq!(env.to, node, "member acked away from its envelope");
+        debug_assert!(env.pending > 0);
+        env.pending -= 1;
+        if env.pending > 0 {
+            return;
+        }
+        let (from, class) = (env.from, env.class);
+        let key = CreditKey::cht(from, node, class);
+        self.coalesce.agg_acks += 1;
+        if !self.faults_on() {
+            let ack = self.net.send(now, node, from, Op::ack_bytes());
+            self.queue.schedule(ack.at, Event::AckArrive { key });
+            self.free_env(slot);
+            return;
+        }
+        match self.net.send_faulted(now, node, from, Op::ack_bytes()) {
+            SendOutcome::Delivered(ack) => {
+                self.queue.schedule(ack.at, Event::AckArrive { key });
+            }
+            SendOutcome::Dropped { at, .. } => self.reclaim_later(at, key),
+        }
+    }
+
+    /// Fault-path sibling of [`Engine::ack_member`]: the copy of `req` at
+    /// `node` was destroyed, so its upstream buffer comes back via a
+    /// reclaim timer instead of an ack. For an envelope member the timer is
+    /// armed once — by the last member destroyed — for the envelope's
+    /// single credit.
+    fn reclaim_member(&mut self, at: SimTime, node: NodeId, req: ReqId) {
+        let r = self.requests[req as usize];
+        if r.env_slot == NO_ENV {
+            self.reclaim_later(
+                at,
+                CreditKey {
+                    sender: r.prev_sender,
+                    edge: (r.prev_node, node),
+                    class: r.vc_class,
+                },
+            );
+            return;
+        }
+        self.requests[req as usize].env_slot = NO_ENV;
+        let env = &mut self.envelopes[r.env_slot as usize];
+        debug_assert!(env.pending > 0);
+        env.pending -= 1;
+        if env.pending == 0 {
+            let key = CreditKey::cht(env.from, env.to, env.class);
+            self.reclaim_later(at, key);
         }
     }
 
@@ -1073,22 +1426,14 @@ impl Engine {
             // The node died while this request was in service: the copy is
             // destroyed with it, and the upstream buffer is reclaimed by
             // its owner's local timer.
-            let r = self.requests[req as usize];
-            self.reclaim_later(
-                now,
-                CreditKey {
-                    sender: r.prev_sender,
-                    edge: (r.prev_node, node),
-                    class: r.vc_class,
-                },
-            );
+            self.reclaim_member(now, node, req);
             return;
         }
         self.chts[node as usize].end_service(now);
         let r = self.requests[req as usize];
 
         // Return the upstream sender's buffer credit with an explicit ack.
-        self.ack_upstream(now, node, req);
+        self.ack_member(now, node, req);
 
         if r.target_node == node {
             // Terminal service: apply and respond directly to the origin.
@@ -1158,6 +1503,7 @@ impl Engine {
             // Forward the hop chosen (and credited) at service start.
             let next = r.fwd_next;
             self.chts[node as usize].counters.forwarded += 1;
+            self.chts[node as usize].counters.fwd_messages += 1;
             let slot = &mut self.requests[req as usize];
             slot.prev_sender = Sender::Cht(node);
             slot.prev_node = node;
@@ -1270,15 +1616,7 @@ impl Engine {
                     // The forwarder died while parked: the copy it held is
                     // gone. Reclaim its upstream buffer and pass the
                     // just-granted downstream credit on.
-                    let r = self.requests[req as usize];
-                    self.reclaim_later(
-                        now,
-                        CreditKey {
-                            sender: r.prev_sender,
-                            edge: (r.prev_node, node),
-                            class: r.vc_class,
-                        },
-                    );
+                    self.reclaim_member(now, node, req);
                     self.ack_arrive(now, key);
                     return;
                 }
@@ -1387,6 +1725,7 @@ impl Engine {
             vc_class: 0,
             fwd_next: old.origin_node,
             fwd_class: 0,
+            env_slot: NO_ENV,
             ..old
         });
         // The timer for the new attempt starts now and covers any time the
@@ -1457,15 +1796,7 @@ impl Engine {
             self.lost_count += 1;
         }
         while let Some(req) = self.chts[node as usize].pop_head() {
-            let r = self.requests[req as usize];
-            self.reclaim_later(
-                now,
-                CreditKey {
-                    sender: r.prev_sender,
-                    edge: (r.prev_node, node),
-                    class: r.vc_class,
-                },
-            );
+            self.reclaim_member(now, node, req);
         }
         self.maybe_release_barrier(now);
     }
@@ -2085,5 +2416,110 @@ mod tests {
         // 15 -> 0 on a 16-node hypercube: 4 hops = 3 forwards + 1 service.
         assert_eq!(report.cht_totals.forwarded, 3);
         assert_eq!(report.cht_totals.serviced, 1);
+    }
+
+    fn hotspot_program(r: Rank) -> Box<dyn Program> {
+        // Ranks 7 and 8 slam rank 0 with async traffic that all funnels
+        // through forwarder node 6 on the 3x3 MFCG — the coalescable
+        // pattern. The initial compute block leaves node 6's CHT cold, so
+        // its first service pays the wakeup penalty while the rest of the
+        // burst queues up behind the head.
+        if r == Rank(7) || r == Rank(8) {
+            let mut script = vec![Action::Compute(SimTime::from_micros(100))];
+            script.extend((0..6).map(|_| Action::OpAsync(Op::fetch_add(Rank(0), 1))));
+            script.push(Action::WaitAll);
+            Box::new(ScriptProgram::new(script))
+        } else {
+            Box::new(ScriptProgram::new(vec![]))
+        }
+    }
+
+    #[test]
+    fn coalescing_folds_shared_hop_forwards() {
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        let off = run_all(cfg, hotspot_program);
+        let mut cfg_on = cfg;
+        cfg_on.coalesce = crate::config::CoalesceConfig::on();
+        let on = run_all(cfg_on, hotspot_program);
+        // Semantics are identical...
+        assert_eq!(off.metrics.total_ops(), on.metrics.total_ops());
+        assert_eq!(off.fetch_finals, on.fetch_finals);
+        assert_eq!(on.cht_totals.forwarded, off.cht_totals.forwarded);
+        assert_eq!(on.cht_totals.serviced, off.cht_totals.serviced);
+        // ...but the forwarder sent fewer physical messages.
+        assert!(on.coalesce.envelopes >= 1, "{:?}", on.coalesce);
+        assert_eq!(on.coalesce.agg_acks, on.coalesce.envelopes);
+        assert!(on.coalesce.deepest_fold >= 2);
+        assert!(
+            on.cht_totals.fwd_messages < on.cht_totals.forwarded,
+            "fwd_messages {} forwarded {}",
+            on.cht_totals.fwd_messages,
+            on.cht_totals.forwarded
+        );
+        assert_eq!(off.cht_totals.fwd_messages, off.cht_totals.forwarded);
+        assert_eq!(off.coalesce, crate::metrics::CoalesceStats::default());
+        assert!(on.net.messages < off.net.messages);
+    }
+
+    #[test]
+    fn coalesced_runs_are_deterministic() {
+        let run = || {
+            let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+            cfg.procs_per_node = 1;
+            cfg.coalesce = crate::config::CoalesceConfig::on();
+            run_all(cfg, hotspot_program)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.cht_totals, b.cht_totals);
+        assert_eq!(a.coalesce, b.coalesce);
+    }
+
+    #[test]
+    fn coalescing_composes_with_fault_recovery() {
+        // Kill the healthy forwarder: coalesced traffic must route around
+        // it and still apply each fetch-&-add exactly once.
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.coalesce = crate::config::CoalesceConfig::on();
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 6);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(8) {
+                let mut script = vec![Action::Compute(SimTime::from_millis(1))];
+                script.extend((0..6).map(|_| Action::OpAsync(Op::fetch_add(Rank(0), 1))));
+                script.push(Action::WaitAll);
+                Box::new(ScriptProgram::new(script))
+            } else {
+                Box::new(ScriptProgram::new(vec![Action::Compute(
+                    SimTime::from_millis(2),
+                )]))
+            }
+        });
+        assert_eq!(report.metrics.per_rank[8].ops, 6);
+        assert_eq!(report.fetch_finals[0], 6);
+        assert!(report.failures.is_empty());
+        assert!(report.faults.reroutes >= 1, "{:?}", report.faults);
+        assert_eq!(report.lost_ranks, vec![6]);
+    }
+
+    #[test]
+    fn envelope_respects_byte_bound() {
+        // Cap the envelope at exactly two member requests: folds deeper
+        // than 2 must never form.
+        let mut cfg = small_cfg(9, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.coalesce = crate::config::CoalesceConfig::on();
+        let rb = Op::fetch_add(Rank(0), 1).request_bytes();
+        let sub = cfg.net.env_sub_header;
+        cfg.coalesce.max_bytes = Some(2 * rb + sub);
+        let report = run_all(cfg, hotspot_program);
+        assert!(report.coalesce.envelopes >= 1, "{:?}", report.coalesce);
+        assert_eq!(report.coalesce.deepest_fold, 2);
+        assert!(report.coalesce.largest_envelope <= 2 * rb);
+        assert_eq!(report.fetch_finals[0], 12);
     }
 }

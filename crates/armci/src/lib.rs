@@ -18,6 +18,12 @@
 //!   route of the configured [`TopologyKind`](vt_core::TopologyKind); the
 //!   contiguous put/get fast path goes straight to RDMA, untouched by the
 //!   topology (paper §II).
+//! * **Request coalescing** ([`CoalesceConfig`]) — optionally, a
+//!   forwarding CHT folds queued (and credit-parked) requests sharing the
+//!   same next LDF hop and escape class into one bounded envelope on a
+//!   single downstream credit, with assembly pipelined against the
+//!   in-flight send and one aggregated ack on the return path. Off by
+//!   default and byte-for-byte free when off.
 //! * **Workloads** ([`workload`]) — per-rank [`Program`]s built from
 //!   blocking/async one-sided [`Op`]s, compute blocks, fences and barriers.
 //! * **Self-healing under faults** — when a [`FaultPlan`] is installed
@@ -54,12 +60,12 @@ pub mod sim;
 pub mod trace;
 pub mod workload;
 
-pub use config::{ChtConfig, RetryConfig, RuntimeConfig};
+pub use config::{ChtConfig, CoalesceConfig, RetryConfig, RuntimeConfig};
 pub use engine::{Report, SimError};
 pub use ids::{NodeId, Rank, Sender};
 pub use layout::Layout;
 pub use memory::{node_memory, NodeMemory};
-pub use metrics::{FaultStats, Metrics, OpRecord, RankStats};
+pub use metrics::{CoalesceStats, FaultStats, Metrics, OpRecord, RankStats};
 pub use ops::{Op, OpKind};
 pub use sim::Simulation;
 pub use workload::{Action, ClosureProgram, IdleProgram, ProcCtx, Program, ScriptProgram};

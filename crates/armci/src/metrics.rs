@@ -59,6 +59,22 @@ pub struct FaultStats {
     pub failed_ops: u64,
 }
 
+/// Request-coalescing activity counters. All zero when coalescing is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Envelopes assembled across all CHTs.
+    pub envelopes: u64,
+    /// Member requests carried inside envelopes.
+    pub coalesced_requests: u64,
+    /// Aggregated buffer-release acks sent on the return path (one per
+    /// envelope instead of one per member).
+    pub agg_acks: u64,
+    /// Largest envelope assembled, in payload bytes.
+    pub largest_envelope: u64,
+    /// Most member requests folded into a single envelope.
+    pub deepest_fold: u32,
+}
+
 /// All measurements from one simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {

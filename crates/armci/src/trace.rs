@@ -78,6 +78,28 @@ pub fn write_fault_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()
     Ok(())
 }
 
+/// Writes the request-coalescing record of a run as CSV: one
+/// `counter,value` row per [`CoalesceStats`](crate::CoalesceStats) counter
+/// plus the physical-forward counters the ablation compares. All envelope
+/// counters are zero when coalescing is off.
+pub fn write_coalesce_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()> {
+    writeln!(w, "counter,value")?;
+    let c = &report.coalesce;
+    for (name, value) in [
+        ("envelopes", c.envelopes),
+        ("coalesced_requests", c.coalesced_requests),
+        ("agg_acks", c.agg_acks),
+        ("largest_envelope", c.largest_envelope),
+        ("deepest_fold", u64::from(c.deepest_fold)),
+        ("forwarded", report.cht_totals.forwarded),
+        ("fwd_messages", report.cht_totals.fwd_messages),
+        ("net_messages", report.net.messages),
+    ] {
+        writeln!(w, "{name},{value}")?;
+    }
+    Ok(())
+}
+
 fn save<F>(path: &Path, write: F) -> io::Result<()>
 where
     F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
@@ -109,6 +131,14 @@ pub fn save_rank_summary(report: &Report, path: &Path) -> io::Result<()> {
 /// Propagates any I/O failure from creating or writing the file.
 pub fn save_fault_summary(report: &Report, path: &Path) -> io::Result<()> {
     save(path, |w| write_fault_summary(report, w))
+}
+
+/// Saves the coalescing summary CSV to `path`.
+///
+/// # Errors
+/// Propagates any I/O failure from creating or writing the file.
+pub fn save_coalesce_summary(report: &Report, path: &Path) -> io::Result<()> {
+    save(path, |w| write_coalesce_summary(report, w))
 }
 
 #[cfg(test)]
@@ -161,6 +191,23 @@ mod tests {
             }
         }
         assert!(!text.contains("failure,"));
+    }
+
+    #[test]
+    fn coalesce_summary_is_all_zero_when_disabled() {
+        let report = sample_report();
+        let mut buf = Vec::new();
+        write_coalesce_summary(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.trim().lines().skip(1) {
+            let (name, value) = line.split_once(',').unwrap();
+            match name {
+                "envelopes" | "coalesced_requests" | "agg_acks" | "largest_envelope"
+                | "deepest_fold" => assert_eq!(value, "0", "counter {name}"),
+                _ => {}
+            }
+        }
+        assert!(text.contains("fwd_messages,"));
     }
 
     #[test]

@@ -200,6 +200,35 @@ pub fn crossing_dim(shape: &Shape, a: u32, b: u32) -> usize {
     found.unwrap_or_else(|| panic!("{a} and {b} occupy the same position"))
 }
 
+/// The escape buffer class a request forwarded `prev -> current -> next`
+/// travels on, given it arrived at `current` in class `base_class`.
+///
+/// This is the per-hop form of the descent rule of
+/// [`route_avoiding_classed`]: the class escalates exactly when the
+/// outgoing edge crosses a lower dimension than the incoming edge did. It
+/// is the **batch key** of the coalescing layer — two queued requests may
+/// share a forwarding envelope only if they leave on the same edge *and*
+/// in the same class, because an envelope occupies a single buffer credit
+/// and credits are partitioned by `(edge, class)`. Requests *originating*
+/// at `current` have no incoming edge; callers pass `prev == current`,
+/// which never escalates.
+///
+/// # Panics
+/// Panics if `prev`/`current` or `current`/`next` are not topology
+/// neighbours (unless `prev == current`).
+pub fn forward_class(shape: &Shape, prev: u32, current: u32, next: u32, base_class: u8) -> u8 {
+    if prev == current {
+        return base_class;
+    }
+    let in_dim = crossing_dim(shape, prev, current);
+    let out_dim = crossing_dim(shape, current, next);
+    if out_dim < in_dim {
+        base_class + 1
+    } else {
+        base_class
+    }
+}
+
 /// [`route_avoiding`] with each hop's **escape buffer class**: hops start in
 /// class 0 and every descent (a hop crossing a lower dimension than the hop
 /// before it) increments the class. See [`next_hop_avoiding`] for why the
@@ -476,6 +505,45 @@ mod tests {
         let s = Shape::new(vec![3, 3]);
         let classed = route_avoiding_classed(&s, 9, 8, 0, &[6]).unwrap();
         assert_eq!(classed, vec![(2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn forward_class_matches_route_classing() {
+        // Replaying any classed route hop-by-hop through forward_class must
+        // reproduce the per-hop classes, with and without dead sets.
+        let n = 27;
+        let shape = Shape::cube_for(n);
+        for dead in [vec![], vec![13u32], vec![1, 9]] {
+            for src in 0..n {
+                for dst in 0..n {
+                    if dead.contains(&src) || dead.contains(&dst) {
+                        continue;
+                    }
+                    let Some(classed) = route_avoiding_classed(&shape, n, src, dst, &dead) else {
+                        continue;
+                    };
+                    let mut prev = src;
+                    let mut cur = src;
+                    let mut class = 0u8;
+                    for &(hop, expect) in &classed {
+                        class = forward_class(&shape, prev, cur, hop, class);
+                        assert_eq!(class, expect, "{src}->{dst} hop {hop}");
+                        prev = cur;
+                        cur = hop;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_class_origin_never_escalates() {
+        let s = Shape::new(vec![3, 3]);
+        assert_eq!(forward_class(&s, 8, 8, 6, 0), 0);
+        // Descent 2->0 after arriving via dimension 1 escalates.
+        assert_eq!(forward_class(&s, 8, 2, 0, 0), 1);
+        // Same-or-higher dimension keeps the class.
+        assert_eq!(forward_class(&s, 2, 0, 6, 1), 1);
     }
 
     #[test]

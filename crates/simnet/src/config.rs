@@ -37,6 +37,14 @@ pub struct NetworkConfig {
     pub stream_miss_penalty: SimTime,
     /// Latency of an intra-node (shared-memory) delivery.
     pub shm_latency: SimTime,
+    /// Framing overhead per envelope member beyond the first: the
+    /// sub-request length/offset descriptor that lets the receiver split a
+    /// coalesced envelope back into individual requests.
+    pub env_sub_header: u64,
+    /// Receiver-side cost to demultiplex one additional sub-request out of
+    /// a coalesced envelope (paid per member beyond the first; the first
+    /// member rides the ordinary `rx_base` fast path).
+    pub env_unpack: SimTime,
     /// Seed for the fault-injection RNG stream (transient drop decisions).
     /// Forked independently of every other stream, so changing it perturbs
     /// only which messages a [`crate::fault::DropWindow`] claims.
@@ -57,6 +65,8 @@ impl Default for NetworkConfig {
             stream_contexts: 96,
             stream_miss_penalty: SimTime::from_micros(25),
             shm_latency: SimTime::from_nanos(400),
+            env_sub_header: 16,
+            env_unpack: SimTime::from_nanos(40),
             fault_seed: 0xFA17,
         }
     }
@@ -94,8 +104,16 @@ impl NetworkConfig {
             stream_contexts: 256,
             stream_miss_penalty: SimTime::from_micros(3),
             shm_latency: SimTime::from_nanos(500),
+            env_sub_header: 16,
+            env_unpack: SimTime::from_nanos(40),
             fault_seed: 0xFA17,
         }
+    }
+
+    /// Wire size of an envelope carrying `payload_bytes` of member requests
+    /// split across `subreqs` sub-requests.
+    pub fn envelope_bytes(&self, payload_bytes: u64, subreqs: u32) -> u64 {
+        payload_bytes + self.env_sub_header * u64::from(subreqs.saturating_sub(1))
     }
 
     /// Wire serialisation time for `bytes` on a link.

@@ -58,6 +58,11 @@ pub struct NetCounters {
     pub hops: u64,
     /// Messages lost to injected faults.
     pub dropped: u64,
+    /// Coalesced envelopes sent inter-node (attempted; each is also counted
+    /// once in `messages` — an envelope is one wire message).
+    pub envelopes: u64,
+    /// Member requests carried inside envelopes (attempted).
+    pub coalesced_requests: u64,
 }
 
 /// Interpreted fault state: per-node crash instants plus transient-loss
@@ -238,6 +243,174 @@ impl Network {
             stream_miss,
             hops,
         }
+    }
+
+    /// Sends a coalesced envelope of `subreqs` member requests totalling
+    /// `payload_bytes` from `src` to `dst`; returns the delivery of the
+    /// whole envelope.
+    ///
+    /// The envelope is one wire message: one TX reservation, one
+    /// cut-through traversal sized by [`NetworkConfig::envelope_bytes`]
+    /// (payload plus per-member framing), and one RX reservation that pays
+    /// `rx_base` once plus `env_unpack` per member beyond the first. This
+    /// path is deliberately separate from [`Network::send`] so a run with
+    /// coalescing disabled never touches it.
+    ///
+    /// # Panics
+    /// Panics on an intra-node envelope — coalescing only exists on the
+    /// forwarding path, which always crosses nodes.
+    pub fn send_envelope(
+        &mut self,
+        now: SimTime,
+        src: u32,
+        dst: u32,
+        payload_bytes: u64,
+        subreqs: u32,
+    ) -> Delivery {
+        assert_ne!(src, dst, "envelopes are inter-node by construction");
+        let bytes = self.cfg.envelope_bytes(payload_bytes, subreqs);
+        let entered =
+            self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
+        let occupancy = self.cfg.link_time(bytes);
+        let route = self
+            .torus
+            .route_links(self.placement.slot(src), self.placement.slot(dst));
+        let hops = route.len() as u32;
+        let mut head = entered;
+        for link_id in route {
+            head =
+                self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
+        }
+        let arrival = head + occupancy;
+        let (at, stream_miss) = self.nics[dst as usize].reserve_rx_envelope(
+            src,
+            arrival,
+            self.cfg.rx_base,
+            self.cfg.rx_time(bytes),
+            self.cfg.stream_miss_penalty,
+            self.cfg.env_unpack * u64::from(subreqs.saturating_sub(1)),
+        );
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.hops += u64::from(hops);
+        self.counters.stream_misses += u64::from(stream_miss);
+        self.counters.envelopes += 1;
+        self.counters.coalesced_requests += u64::from(subreqs);
+        Delivery {
+            at,
+            stream_miss,
+            hops,
+        }
+    }
+
+    /// [`Network::send_envelope`] under the installed fault plan: the
+    /// envelope is lost or delivered as a unit, by the same rules as
+    /// [`Network::send_faulted`].
+    pub fn send_envelope_faulted(
+        &mut self,
+        now: SimTime,
+        src: u32,
+        dst: u32,
+        payload_bytes: u64,
+        subreqs: u32,
+    ) -> SendOutcome {
+        if self.faults.is_none() {
+            return SendOutcome::Delivered(self.send_envelope(
+                now,
+                src,
+                dst,
+                payload_bytes,
+                subreqs,
+            ));
+        }
+        if self.node_dead(src, now) {
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped {
+                at: now,
+                reason: DropReason::SourceDead,
+            };
+        }
+        assert_ne!(src, dst, "envelopes are inter-node by construction");
+        let bytes = self.cfg.envelope_bytes(payload_bytes, subreqs);
+        let entered =
+            self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
+        let occupancy = self.cfg.link_time(bytes);
+        let route = self
+            .torus
+            .route_links(self.placement.slot(src), self.placement.slot(dst));
+        let hops = route.len() as u32;
+        let mut head = entered;
+        let mut drain = occupancy;
+        for (traversed, link_id) in route.into_iter().enumerate() {
+            let link = &mut self.links[link_id as usize];
+            if link.is_down(head) {
+                self.counters.messages += 1;
+                self.counters.bytes += bytes;
+                self.counters.hops += traversed as u64;
+                self.counters.dropped += 1;
+                self.counters.envelopes += 1;
+                self.counters.coalesced_requests += u64::from(subreqs);
+                return SendOutcome::Dropped {
+                    at: head,
+                    reason: DropReason::LinkDown,
+                };
+            }
+            let scaled = scale_time(occupancy, link.occupancy_factor(head));
+            drain = drain.max(scaled);
+            head = link.reserve(head, scaled, bytes) + self.cfg.hop_latency;
+        }
+        let arrival = head + drain;
+
+        let faults = self.faults.as_mut().expect("checked above");
+        if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
+            self.counters.messages += 1;
+            self.counters.bytes += bytes;
+            self.counters.hops += u64::from(hops);
+            self.counters.dropped += 1;
+            self.counters.envelopes += 1;
+            self.counters.coalesced_requests += u64::from(subreqs);
+            return SendOutcome::Dropped {
+                at: arrival,
+                reason: DropReason::DestDead,
+            };
+        }
+        for w in &faults.drop_windows {
+            if arrival >= w.from && arrival < w.until {
+                if faults.drop_rng.f64() < w.probability {
+                    self.counters.messages += 1;
+                    self.counters.bytes += bytes;
+                    self.counters.hops += u64::from(hops);
+                    self.counters.dropped += 1;
+                    self.counters.envelopes += 1;
+                    self.counters.coalesced_requests += u64::from(subreqs);
+                    return SendOutcome::Dropped {
+                        at: arrival,
+                        reason: DropReason::Transient,
+                    };
+                }
+                break;
+            }
+        }
+
+        let (at, stream_miss) = self.nics[dst as usize].reserve_rx_envelope(
+            src,
+            arrival,
+            self.cfg.rx_base,
+            self.cfg.rx_time(bytes),
+            self.cfg.stream_miss_penalty,
+            self.cfg.env_unpack * u64::from(subreqs.saturating_sub(1)),
+        );
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.hops += u64::from(hops);
+        self.counters.stream_misses += u64::from(stream_miss);
+        self.counters.envelopes += 1;
+        self.counters.coalesced_requests += u64::from(subreqs);
+        SendOutcome::Delivered(Delivery {
+            at,
+            stream_miss,
+            hops,
+        })
     }
 
     /// Sends under the installed fault plan. Without a plan this is
@@ -495,6 +668,51 @@ mod tests {
             }
         }
         assert_eq!(net2.counters().stream_misses, 6, "only cold misses");
+    }
+
+    #[test]
+    fn envelope_is_one_message_and_beats_singles_at_hot_receiver() {
+        // Same total payload into the same receiver: one 4-member envelope
+        // vs four singles from the same forwarder.
+        let mut env_net = quiet_net(8);
+        let env = env_net.send_envelope(SimTime::ZERO, 3, 0, 4 * 160, 4);
+        let mut single_net = quiet_net(8);
+        let mut last = SimTime::ZERO;
+        for _ in 0..4 {
+            last = single_net.send(SimTime::ZERO, 3, 0, 160).at;
+        }
+        assert!(env.at < last, "envelope {:?} >= singles {:?}", env.at, last);
+        let c = env_net.counters();
+        assert_eq!(c.messages, 1);
+        assert_eq!(c.envelopes, 1);
+        assert_eq!(c.coalesced_requests, 4);
+        // Framing bytes: payload + 3 sub-headers.
+        assert_eq!(c.bytes, 4 * 160 + env_net.config().env_sub_header * 3);
+        assert_eq!(single_net.counters().messages, 4);
+        assert_eq!(single_net.counters().envelopes, 0);
+    }
+
+    #[test]
+    fn faulted_envelope_with_empty_plan_matches_plain() {
+        let cfg = NetworkConfig::default();
+        let mut plain = Network::new(cfg, 16);
+        let mut faulted = Network::with_faults(cfg, 16, &FaultPlan::new());
+        let a = plain.send_envelope(SimTime::ZERO, 5, 0, 640, 4);
+        let b = faulted.send_envelope_faulted(SimTime::ZERO, 5, 0, 640, 4);
+        assert_eq!(b, SendOutcome::Delivered(a));
+        assert_eq!(plain.counters(), faulted.counters());
+    }
+
+    #[test]
+    fn envelope_to_crashed_destination_is_dropped() {
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 0);
+        let mut net = Network::with_faults(NetworkConfig::default(), 8, &plan);
+        match net.send_envelope_faulted(SimTime::from_micros(1), 5, 0, 320, 2) {
+            SendOutcome::Dropped { reason, .. } => assert_eq!(reason, DropReason::DestDead),
+            other => panic!("expected a dest-dead drop, got {other:?}"),
+        }
+        assert_eq!(net.counters().dropped, 1);
+        assert_eq!(net.counters().envelopes, 1);
     }
 
     #[test]

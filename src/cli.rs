@@ -12,7 +12,7 @@ use vt_apps::lu::LuConfig;
 use vt_apps::nwchem_ccsd::CcsdConfig;
 use vt_apps::nwchem_dft::DftConfig;
 use vt_apps::Table;
-use vt_armci::OpKind;
+use vt_armci::{CoalesceConfig, OpKind};
 use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind};
 
 /// A parsed `--key value` flag map.
@@ -134,7 +134,9 @@ pub fn usage() -> String {
        dot         --topology K --nodes N [--tree R]  Graphviz DOT export\n\
        memory      --nodes N [--ppn 12]              Fig. 5 memory table\n\
        contention  --topology K --op OP --scenario S [--procs 1024] [--ppn 4]\n\
-                   [--stride 16] [--iterations 20]   Figs. 6/7 protocol\n\
+                   [--stride 16] [--iterations 20] [--coalesce off]\n\
+                   Figs. 6/7 protocol (coalesce on|off folds shared-hop\n\
+                   forwards into envelopes)\n\
        lu          --procs N [--topology K] [--iterations 250]   Fig. 8\n\
        dft         --cores N [--topology K] [--tasks N]          Fig. 9a\n\
        ccsd        --cores N [--topology K]                      Fig. 9b\n\
@@ -238,16 +240,22 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
             let ppn: u32 = flags.take("ppn", 4)?;
             let measure_stride: u32 = flags.take("stride", 16)?;
             let iterations: u32 = flags.take("iterations", 20)?;
+            let coalesce = match flags.take("coalesce", "off".to_string())?.as_str() {
+                "on" => Some(CoalesceConfig::on()),
+                "off" => None,
+                other => return Err(format!("invalid value for --coalesce: '{other}' (on|off)")),
+            };
             flags.finish()?;
             let cfg = ContentionConfig {
                 n_procs,
                 ppn,
                 measure_stride,
                 iterations,
+                coalesce,
                 ..ContentionConfig::paper(topology, op, scenario)
             };
             let o = vt_apps::contention::run(&cfg);
-            format!(
+            let mut out = format!(
                 "{} / {} / {}: mean {:.1} us, median {:.1} us over {} ranks\n\
                  stream misses {}, forwards {}, total {:.3} s\n",
                 topology.name(),
@@ -259,7 +267,14 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 o.stream_misses,
                 o.forwards,
                 o.finish.as_secs_f64(),
-            )
+            );
+            if coalesce.is_some() {
+                out.push_str(&format!(
+                    "coalescing: {} envelopes folded {} requests ({} physical forwards, {} net messages)\n",
+                    o.envelopes, o.coalesced, o.fwd_messages, o.messages,
+                ));
+            }
+            out
         }
         "lu" => {
             let topology = flags.take_topology(TopologyKind::Fcg)?;
@@ -462,6 +477,37 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("mfcg / fadd / 20% contention"));
+    }
+
+    #[test]
+    fn contention_command_accepts_coalesce_flag() {
+        let args = |v: &str| {
+            s(&[
+                "--procs",
+                "32",
+                "--ppn",
+                "4",
+                "--stride",
+                "8",
+                "--iterations",
+                "2",
+                "--topology",
+                "mfcg",
+                "--op",
+                "fadd",
+                "--scenario",
+                "1/5",
+                "--coalesce",
+                v,
+            ])
+        };
+        let on = run_command("contention", &args("on")).unwrap();
+        assert!(on.contains("coalescing:"), "{on}");
+        assert!(on.contains("envelopes folded"), "{on}");
+        let off = run_command("contention", &args("off")).unwrap();
+        assert!(!off.contains("coalescing:"), "{off}");
+        let err = run_command("contention", &args("maybe")).unwrap_err();
+        assert!(err.contains("--coalesce"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Golden-figure snapshots: scaled-down, fully deterministic renderings of
+//! the paper's Fig. 5/6/7 pipelines — coalescing off, the baseline the
+//! ablation compares against — diffed byte-for-byte against checked-in
+//! snapshots under `tests/golden/`.
+//!
+//! When an intentional model change shifts the numbers, regenerate with
+//!
+//! ```text
+//! VT_UPDATE_GOLDEN=1 cargo test --test golden_figures
+//! ```
+//!
+//! and review the snapshot diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
+use vt_apps::Table;
+use vt_core::{MemoryModel, TopologyKind};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the checked-in snapshot, or rewrites the
+/// snapshot when `VT_UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("VT_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             regenerate with VT_UPDATE_GOLDEN=1 cargo test --test golden_figures",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| format!("first diff at line {}:\n -{e}\n +{a}", i + 1))
+            .unwrap_or_else(|| "files differ in length".to_string());
+        panic!(
+            "{name} drifted from its golden snapshot ({})\n{diff}\n\
+             if the change is intentional, regenerate with \
+             VT_UPDATE_GOLDEN=1 cargo test --test golden_figures",
+            path.display()
+        );
+    }
+}
+
+// ---- Figure 5: memory scaling -------------------------------------------
+
+#[test]
+fn fig5_memory_matches_golden() {
+    let model = MemoryModel::default(); // 12 ppn, B = 16 KiB, M = 4
+    let mut out = String::from("# Fig. 5 (scaled): master memory by topology and node count\n");
+    let mut table = Table::new(&[
+        "topology",
+        "nodes",
+        "pool (KiB)",
+        "VmRSS (KiB)",
+        "incr (KiB)",
+    ]);
+    for kind in TopologyKind::ALL {
+        for nodes in [16u32, 64, 256] {
+            let topo = kind.build(nodes);
+            table.row(&[
+                kind.name().to_string(),
+                nodes.to_string(),
+                (model.cht_pool_bytes(&topo, 0) / 1024).to_string(),
+                (model.master_vmrss_bytes(&topo, 0) / 1024).to_string(),
+                (model.increment_bytes(&topo, 0) / 1024).to_string(),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    check_golden("fig5_memory.txt", &out);
+}
+
+// ---- Figures 6 and 7: contention protocol -------------------------------
+
+fn contention_figure(title: &str, op: OpSpec) -> String {
+    let jobs = [
+        (TopologyKind::Fcg, Scenario::NoContention),
+        (TopologyKind::Fcg, Scenario::pct20()),
+        (TopologyKind::Mfcg, Scenario::NoContention),
+        (TopologyKind::Mfcg, Scenario::pct20()),
+        (TopologyKind::Cfcg, Scenario::NoContention),
+        (TopologyKind::Cfcg, Scenario::pct20()),
+        (TopologyKind::Hypercube, Scenario::NoContention),
+    ];
+    let mut out = format!("# {title}: 64 procs (16 nodes x 4 ppn), coalescing off\n");
+    let mut table = Table::new(&[
+        "topology",
+        "scenario",
+        "finish (us)",
+        "mean (us)",
+        "median (us)",
+        "stream misses",
+        "forwards",
+        "net msgs",
+    ]);
+    for (topology, scenario) in jobs {
+        let cfg = ContentionConfig {
+            n_procs: 64,
+            measure_stride: 8,
+            iterations: 4,
+            ..ContentionConfig::paper(topology, op, scenario)
+        };
+        let o = run(&cfg);
+        table.row(&[
+            topology.name().to_string(),
+            scenario.label().to_string(),
+            format!("{:.3}", o.finish.as_micros_f64()),
+            format!("{:.3}", o.mean_us()),
+            format!("{:.3}", o.median_us()),
+            o.stream_misses.to_string(),
+            o.forwards.to_string(),
+            o.messages.to_string(),
+        ]);
+    }
+    let _ = write!(out, "{}", table.render());
+    out
+}
+
+#[test]
+fn fig6_vector_ops_matches_golden() {
+    check_golden(
+        "fig6_vector_ops.txt",
+        &contention_figure("Fig. 6 (scaled): vector put", OpSpec::vector_put()),
+    );
+}
+
+#[test]
+fn fig7_fetch_add_matches_golden() {
+    check_golden(
+        "fig7_fetch_add.txt",
+        &contention_figure("Fig. 7 (scaled): fetch-&-add", OpSpec::fetch_add()),
+    );
+}
