@@ -342,7 +342,8 @@ impl Program for ContentionProgram {
 ///
 /// # Panics
 /// Panics if the configuration is too small to have any measurable rank
-/// (everything on rank 0's node) or is otherwise invalid.
+/// (everything on rank 0's node), if the `vt-analyze` pre-flight refuses
+/// to certify it, or if it is otherwise invalid.
 pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
@@ -362,6 +363,11 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
     }
     if let Some(c) = cfg.coalesce {
         rt.coalesce = c;
+    }
+    // Pre-flight: refuse to burn simulation time on a configuration the
+    // static verifier cannot certify deadlock-free.
+    if let Err(report) = vt_analyze::certify(&rt, None) {
+        panic!("pre-flight verification failed:\n{report}");
     }
 
     let measured: Vec<Rank> = (cfg.ppn..cfg.n_procs)

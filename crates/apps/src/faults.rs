@@ -143,15 +143,24 @@ fn build(cfg: &FaultScenarioConfig, plan: &FaultPlan) -> Simulation {
 /// reports completion time, availability and the recovery counters.
 ///
 /// # Panics
-/// Panics if the configuration is invalid for the topology or the
-/// simulation deadlocks — the self-healing machinery is expected to always
-/// terminate the run.
+/// Panics if the configuration is invalid for the topology, if the
+/// `vt-analyze` pre-flight refuses to certify the crashed configuration,
+/// or if the simulation deadlocks — the self-healing machinery is
+/// expected to always terminate the run.
 pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
     let victim = cfg.victim_node();
+    let plan = FaultPlan::new().crash_node(cfg.kill_at, victim);
+    // Pre-flight: the crashed configuration must stay certified — the
+    // dependency graph acyclic over every crash prefix, and every
+    // surviving pair still routable. A partial packing whose victim is
+    // escape-critical is refused here instead of producing a run whose
+    // "failed ops" are really a partitioned topology.
+    if let Err(report) = vt_analyze::certify(&runtime_config(cfg), Some(&plan)) {
+        panic!("pre-flight verification failed:\n{report}");
+    }
     let healthy = build(cfg, &FaultPlan::default())
         .run()
         .expect("healthy baseline must complete");
-    let plan = FaultPlan::new().crash_node(cfg.kill_at, victim);
     let report = build(cfg, &plan)
         .run()
         .expect("faulted run must terminate cleanly");

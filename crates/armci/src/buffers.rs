@@ -181,6 +181,14 @@ impl CreditManager {
         self.in_flight.values().map(|&v| u64::from(v)).sum()
     }
 
+    /// Every account with its current in-flight count, including zeroed
+    /// accounts that were touched earlier in the run. Introspection hook
+    /// for end-of-run credit-leak accounting (`Report::credit_leaks`) and
+    /// the `vt-analyze` model checker's zero-leak property.
+    pub fn accounts(&self) -> impl Iterator<Item = (&CreditKey, u32)> {
+        self.in_flight.iter().map(|(k, &v)| (k, v))
+    }
+
     /// All currently blocked waiters (for deadlock diagnostics).
     pub fn blocked(&self) -> impl Iterator<Item = (&CreditKey, &Waiter)> {
         self.waiters
@@ -198,6 +206,7 @@ impl CreditManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::ids::Rank;

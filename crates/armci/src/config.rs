@@ -289,6 +289,7 @@ impl RuntimeConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::ids::Rank;

@@ -270,6 +270,38 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// The engine's forwarding decision procedure, exposed so the static
+/// analyzer (`vt-analyze`) can build its buffer-dependency graph from the
+/// *same* code path the runtime executes rather than a re-derivation of it.
+///
+/// Given a request at `current` that arrived over the topology edge
+/// `prev → current` (`prev == current` for a request originating here) in
+/// escape buffer class `base_class`, returns the next hop on the (extended,
+/// route-around) LDF route to `dest` and the class the request travels on —
+/// escalated by one exactly when the outgoing edge crosses a lower dimension
+/// than the incoming one — or `None` when no live hop exists (the engine
+/// then discards the copy and lets the origin's timeout machinery diagnose
+/// the operation). With an empty `dead` set this is plain extended LDF and
+/// the class never escalates above `base_class`.
+///
+/// # Panics
+/// Panics if `current`/`dest` are out of range or `prev`/`current` are not
+/// topology neighbours (unless equal).
+pub fn forward_decision(
+    shape: &Shape,
+    n: u32,
+    prev: NodeId,
+    current: NodeId,
+    dest: NodeId,
+    base_class: u8,
+    dead: &[NodeId],
+) -> Option<(NodeId, u8)> {
+    match ldf::next_hop_avoiding(shape, n, current, dest, dead) {
+        HopDecision::Hop(h) => Some((h, ldf::forward_class(shape, prev, current, h, base_class))),
+        HopDecision::Unreachable | HopDecision::Arrived => None,
+    }
+}
+
 /// Results of a completed run.
 #[derive(Debug)]
 pub struct Report {
@@ -300,6 +332,13 @@ pub struct Report {
     pub failures: Vec<SimError>,
     /// Ranks whose node crashed mid-run.
     pub lost_ranks: Vec<u32>,
+    /// Credits still in flight at quiescence on accounts whose sender is
+    /// alive — a live sender holding a buffer after everything drained is
+    /// a protocol leak. Credits stranded by dead senders (the crashed
+    /// node's buffers die with it) are excluded. Must be zero; the model
+    /// checker in `vt-analyze` proves the same property exhaustively for
+    /// small N.
+    pub credit_leaks: u64,
 }
 
 impl Report {
@@ -548,6 +587,25 @@ impl Engine {
             .filter(|&r| self.procs[r as usize].phase == Phase::Lost)
             .collect();
         let fetch_finals = std::mem::take(&mut self.fetch_counters);
+        // A credit still held at quiescence is a leak unless its sender or
+        // either edge endpoint died — crashed buffers (and the acks that
+        // would have released them) legitimately vanish with the node.
+        let credit_leaks = self
+            .credits
+            .accounts()
+            .filter(|&(key, used)| {
+                used > 0
+                    && !self.dead.contains(&key.edge.0)
+                    && !self.dead.contains(&key.edge.1)
+                    && match key.sender {
+                        Sender::Cht(n) => !self.dead.contains(&n),
+                        Sender::Proc(r) => {
+                            !matches!(self.procs[r.idx()].phase, Phase::Lost | Phase::Failed)
+                        }
+                    }
+            })
+            .map(|(_, used)| u64::from(used))
+            .sum();
         Ok(Report {
             finish_time,
             metrics: self.metrics,
@@ -561,6 +619,7 @@ impl Engine {
             failures: self.failures,
             lost_ranks,
             fetch_finals,
+            credit_leaks,
         })
     }
 
@@ -827,9 +886,16 @@ impl Engine {
                     HopDecision::Arrived => unreachable!("distinct nodes"),
                 }
             } else {
-                self.topo
-                    .next_hop(src_node, target_node)
-                    .expect("distinct nodes must have a next hop")
+                match self.topo.next_hop(src_node, target_node) {
+                    Some(h) => h,
+                    None => {
+                        // A total forwarding table has a hop for every
+                        // distinct live pair; a miswired custom topology is
+                        // diagnosed as unreachable rather than panicking.
+                        self.rank_fail(now, rank, req);
+                        return;
+                    }
+                }
             };
             let key = CreditKey {
                 sender: Sender::Proc(rank),
@@ -1011,32 +1077,22 @@ impl Engine {
             let terminal = r.target_node == node;
             if !terminal && !r.credit_held {
                 let (next, class) = if self.faults_on() {
-                    match ldf::next_hop_avoiding(
+                    match forward_decision(
                         &self.shape,
                         self.layout.num_nodes(),
+                        r.prev_node,
                         node,
                         r.target_node,
+                        r.vc_class,
                         &self.dead,
                     ) {
-                        HopDecision::Hop(h) => {
+                        Some((h, class)) => {
                             if self.topo.next_hop(node, r.target_node) != Some(h) {
                                 self.faults.reroutes += 1;
                             }
-                            // Escape-class escalation: a hop crossing a
-                            // lower dimension than the one the request
-                            // arrived on is a descent and moves the request
-                            // into the next buffer class (keeps the
-                            // dependency graph acyclic; see vt-core::ldf).
-                            let in_dim = ldf::crossing_dim(&self.shape, r.prev_node, node);
-                            let out_dim = ldf::crossing_dim(&self.shape, node, h);
-                            let class = if out_dim < in_dim {
-                                r.vc_class + 1
-                            } else {
-                                r.vc_class
-                            };
                             (h, class)
                         }
-                        HopDecision::Unreachable => {
+                        None => {
                             // No live next hop: discard the copy, free the
                             // upstream buffer with a real ack, and let the
                             // origin's timer deal with the operation.
@@ -1045,15 +1101,20 @@ impl Engine {
                             self.ack_member(now, node, req);
                             continue;
                         }
-                        HopDecision::Arrived => unreachable!("non-terminal request"),
                     }
                 } else {
-                    (
-                        self.topo
-                            .next_hop(node, r.target_node)
-                            .expect("forwarding implies a next hop"),
-                        0,
-                    )
+                    match self.topo.next_hop(node, r.target_node) {
+                        Some(h) => (h, 0),
+                        None => {
+                            // Missing hop in a supposedly total table:
+                            // discard the copy like an unreachable target
+                            // instead of panicking mid-forward.
+                            self.faults.unreachable += 1;
+                            self.chts[node as usize].pop_head();
+                            self.ack_member(now, node, req);
+                            continue;
+                        }
+                    }
                 };
                 let key = CreditKey {
                     sender: Sender::Cht(node),
@@ -1180,40 +1241,31 @@ impl Engine {
                 continue;
             }
             let (cnext, cclass, rerouted) = if self.faults_on() {
-                match ldf::next_hop_avoiding(
+                match forward_decision(
                     &self.shape,
                     self.layout.num_nodes(),
+                    rc.prev_node,
                     node,
                     rc.target_node,
+                    rc.vc_class,
                     &self.dead,
                 ) {
-                    HopDecision::Hop(h) => {
-                        let in_dim = ldf::crossing_dim(&self.shape, rc.prev_node, node);
-                        let out_dim = ldf::crossing_dim(&self.shape, node, h);
-                        let class = if out_dim < in_dim {
-                            rc.vc_class + 1
-                        } else {
-                            rc.vc_class
-                        };
-                        (
-                            h,
-                            class,
-                            self.topo.next_hop(node, rc.target_node) != Some(h),
-                        )
-                    }
+                    Some((h, class)) => (
+                        h,
+                        class,
+                        self.topo.next_hop(node, rc.target_node) != Some(h),
+                    ),
                     // Unreachable candidates stay queued; the head-of-line
                     // pass discards them with the proper ack.
-                    HopDecision::Unreachable => continue,
-                    HopDecision::Arrived => unreachable!("non-terminal request"),
+                    None => continue,
                 }
             } else {
-                (
-                    self.topo
-                        .next_hop(node, rc.target_node)
-                        .expect("forwarding implies a next hop"),
-                    0,
-                    false,
-                )
+                match self.topo.next_hop(node, rc.target_node) {
+                    Some(h) => (h, 0, false),
+                    // A hop-less candidate stays queued; the head-of-line
+                    // pass discards it with the proper ack.
+                    None => continue,
+                }
             };
             if (cnext, cclass) != (hnext, hclass) {
                 continue;
@@ -1581,6 +1633,10 @@ impl Engine {
         self.requests[req as usize].resp_value = Some(old);
     }
 
+    // A waiter is only ever registered together with its pending issue, so
+    // a granted proc without one is a protocol-state corruption: crash
+    // loudly rather than silently dropping the credit.
+    #[allow(clippy::expect_used)]
     fn ack_arrive(&mut self, now: SimTime, key: CreditKey) {
         match self.credits.release(key) {
             None => {}
@@ -1803,6 +1859,7 @@ impl Engine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::workload::{ClosureProgram, ScriptProgram};

@@ -49,6 +49,7 @@ impl fmt::Display for Sender {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

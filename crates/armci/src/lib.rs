@@ -47,6 +47,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic policy for the engine hot paths: reachable failures (routing,
+// faults, exhausted budgets) must surface as typed `SimError`s; `unwrap`
+// and `expect` are reserved for protocol-state invariants whose violation
+// means the simulation is already corrupt, each carrying an `#[allow]`
+// with its justification. Test modules are exempt wholesale.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod buffers;
 pub mod cht;
 pub mod config;
@@ -61,7 +67,7 @@ pub mod trace;
 pub mod workload;
 
 pub use config::{ChtConfig, CoalesceConfig, RetryConfig, RuntimeConfig};
-pub use engine::{Report, SimError};
+pub use engine::{forward_decision, Report, SimError};
 pub use ids::{NodeId, Rank, Sender};
 pub use layout::Layout;
 pub use memory::{node_memory, NodeMemory};

@@ -43,6 +43,7 @@ pub fn node_memory(cfg: &RuntimeConfig, topo: &dyn VirtualTopology, node: u32) -
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use vt_core::TopologyKind;

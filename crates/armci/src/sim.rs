@@ -92,6 +92,7 @@ impl Simulation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::ops::Op;

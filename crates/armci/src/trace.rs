@@ -142,6 +142,7 @@ pub fn save_coalesce_summary(report: &Report, path: &Path) -> io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::ids::Rank;

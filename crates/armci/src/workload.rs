@@ -123,6 +123,7 @@ impl Program for ScriptProgram {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -107,6 +107,59 @@ impl DiGraph {
         false
     }
 
+    /// A concrete directed cycle, as the sequence of vertices
+    /// `v₀ → v₁ → … → v₀` (the closing vertex repeated at the end), or
+    /// `None` when the graph is acyclic.
+    ///
+    /// This is the counterexample extractor behind the static analyzer's
+    /// deadlock verdicts: [`DiGraph::has_cycle`] answers *whether* a cyclic
+    /// buffer dependency exists, `find_cycle` exhibits one so it can be
+    /// rendered (e.g. as DOT) and independently re-checked edge by edge.
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.adj.len()];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..self.adj.len() as u32 {
+            if colour[start as usize] != Colour::White {
+                continue;
+            }
+            colour[start as usize] = Colour::Grey;
+            stack.push((start, 0));
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                if let Some(&succ) = self.adj[v as usize].get(*next) {
+                    *next += 1;
+                    match colour[succ as usize] {
+                        Colour::Grey => {
+                            // The grey stack from `succ` to the top is the cycle.
+                            let from = stack
+                                .iter()
+                                .position(|&(u, _)| u == succ)
+                                .expect("grey vertex is on the DFS stack");
+                            let mut cycle: Vec<u32> =
+                                stack[from..].iter().map(|&(u, _)| u).collect();
+                            cycle.push(succ);
+                            return Some(cycle);
+                        }
+                        Colour::White => {
+                            colour[succ as usize] = Colour::Grey;
+                            stack.push((succ, 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[v as usize] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
     /// A topological order of the vertices, or `None` if the graph is cyclic.
     pub fn topological_order(&self) -> Option<Vec<u32>> {
         let mut indeg = vec![0usize; self.adj.len()];
@@ -351,6 +404,35 @@ mod tests {
         let mut g = DiGraph::new(1);
         g.add_edge(0, 0);
         assert!(g.has_cycle());
+        assert_eq!(g.find_cycle(), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn find_cycle_returns_a_real_closed_walk() {
+        let mut g = DiGraph::new(6);
+        // A DAG prefix hanging off a 3-cycle: 0 -> 1 -> {2 -> 3 -> 4 -> 2}.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 2);
+        g.add_edge(5, 0);
+        let cycle = g.find_cycle().expect("graph is cyclic");
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+        for pair in cycle.windows(2) {
+            assert!(
+                g.successors(pair[0]).contains(&pair[1]),
+                "{} -> {} is not an edge",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Acyclic graphs yield no counterexample.
+        let mut dag = DiGraph::new(3);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        assert_eq!(dag.find_cycle(), None);
     }
 
     #[test]

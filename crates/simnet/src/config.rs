@@ -138,6 +138,7 @@ fn per_byte_time(bytes: u64, bytes_per_ns: f64) -> SimTime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -133,6 +133,7 @@ impl<E> EventQueue<E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -146,6 +146,17 @@ impl FaultPlan {
         self
     }
 
+    /// All nodes the plan ever crashes, sorted and deduplicated. This is
+    /// the dead-set surface static analysis works from: `vt-analyze` feeds
+    /// it to the escape-class router to build route-around dependency
+    /// edges without replaying the schedule.
+    pub fn crashed_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self.node_crashes.iter().map(|c| c.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
     /// The crash instant of `node`, if the plan kills it.
     pub fn crash_time(&self, node: u32) -> Option<SimTime> {
         self.node_crashes
@@ -219,6 +230,7 @@ impl std::fmt::Display for DropReason {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -303,6 +303,16 @@ impl Network {
         }
     }
 
+    /// The installed fault context. Only called on paths guarded by an
+    /// `is_none` early return at function entry, so a missing context is a
+    /// control-flow corruption worth crashing on.
+    #[allow(clippy::expect_used)]
+    fn faults_mut(&mut self) -> &mut FaultCtx {
+        self.faults
+            .as_mut()
+            .expect("faulted send paths are guarded at entry")
+    }
+
     /// [`Network::send_envelope`] under the installed fault plan: the
     /// envelope is lost or delivered as a unit, by the same rules as
     /// [`Network::send_faulted`].
@@ -361,7 +371,7 @@ impl Network {
         }
         let arrival = head + drain;
 
-        let faults = self.faults.as_mut().expect("checked above");
+        let faults = self.faults_mut();
         if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
             self.counters.messages += 1;
             self.counters.bytes += bytes;
@@ -469,7 +479,7 @@ impl Network {
         }
         let arrival = head + drain;
 
-        let faults = self.faults.as_mut().expect("checked above");
+        let faults = self.faults_mut();
         if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
             self.counters.messages += 1;
             self.counters.bytes += bytes;
@@ -558,6 +568,7 @@ fn scale_time(t: SimTime, factor: f64) -> SimTime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::placement::Placement;

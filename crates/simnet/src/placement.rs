@@ -104,6 +104,7 @@ fn coprime_stride(mut stride: u32, n: u32) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

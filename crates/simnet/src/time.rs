@@ -87,6 +87,9 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    // Clock overflow/underflow is unrecoverable model corruption; the
+    // checked-arithmetic panics here are deliberate and documented.
+    #[allow(clippy::expect_used)]
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(
@@ -106,6 +109,7 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    #[allow(clippy::expect_used)]
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
         SimTime(
@@ -118,6 +122,7 @@ impl Sub for SimTime {
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    #[allow(clippy::expect_used)]
     #[inline]
     fn mul(self, rhs: u64) -> SimTime {
         SimTime(
@@ -155,6 +160,7 @@ impl fmt::Display for SimTime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

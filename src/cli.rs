@@ -13,7 +13,7 @@ use vt_apps::nwchem_ccsd::CcsdConfig;
 use vt_apps::nwchem_dft::DftConfig;
 use vt_apps::Table;
 use vt_armci::{CoalesceConfig, OpKind};
-use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind};
+use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind, VirtualTopology};
 
 /// A parsed `--key value` flag map.
 #[derive(Debug, Default)]
@@ -130,6 +130,15 @@ pub fn usage() -> String {
      USAGE: vtsim <command> [--flag value]...\n\
      \n\
      COMMANDS\n\
+       analyze     --topology K --nodes N [--ppn 4] [--credits 4]\n\
+                   [--buffer-bytes 16384] [--coalesce off]\n\
+                   [--fault none|crash|crash:N[,N...]]\n\
+                   [--model on|off] [--format human|json] [--dot PATH]\n\
+                   static protocol verification (acyclicity, totality, depth,\n\
+                   budgets, small-N model check); exits non-zero when the\n\
+                   configuration is not certified\n\
+       analyze     --matrix on [--format json]   full topology x coalescing x\n\
+                   fault verification matrix (the CI gate)\n\
        topo        --topology K --nodes N            inspect a topology\n\
        dot         --topology K --nodes N [--tree R]  Graphviz DOT export\n\
        memory      --nodes N [--ppn 12]              Fig. 5 memory table\n\
@@ -155,6 +164,84 @@ pub fn usage() -> String {
 pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
     let mut flags = Flags::parse(args)?;
     let out = match cmd {
+        "analyze" => {
+            let matrix = match flags.take("matrix", "off".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --matrix: '{other}' (on|off)")),
+            };
+            let format = flags.take("format", "human".to_string())?;
+            if format != "human" && format != "json" {
+                return Err(format!(
+                    "invalid value for --format: '{format}' (human|json)"
+                ));
+            }
+            if matrix {
+                flags.finish()?;
+                return analyze_matrix(&format);
+            }
+            let topology = flags.take_topology(TopologyKind::Mfcg)?;
+            let nodes: u32 = flags.take("nodes", 64)?;
+            let ppn: u32 = flags.take("ppn", 4)?;
+            let credits: u32 = flags.take("credits", 4)?;
+            let buffer_bytes: u64 = flags.take("buffer-bytes", 16 * 1024)?;
+            let coalesce = match flags.take("coalesce", "off".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --coalesce: '{other}' (on|off)")),
+            };
+            let fault = flags.take("fault", "none".to_string())?;
+            let model = match flags.take("model", "on".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --model: '{other}' (on|off)")),
+            };
+            let dot_path = flags.take("dot", String::new())?;
+            flags.finish()?;
+            let mut cfg = vt_analyze::AnalyzeConfig::new(topology, nodes);
+            cfg.procs_per_node = ppn;
+            cfg.credits = credits;
+            cfg.buffer_bytes = buffer_bytes;
+            cfg.coalescing = coalesce;
+            cfg.model_check = model;
+            cfg.dead_sequence = match fault.as_str() {
+                "none" => Vec::new(),
+                "crash" => crash_victim(topology, nodes).into_iter().collect(),
+                other => match other.strip_prefix("crash:") {
+                    Some(list) => list
+                        .split(',')
+                        .map(|v| {
+                            v.parse::<u32>()
+                                .map_err(|_| format!("invalid crash victim '{v}'"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?,
+                    None => {
+                        return Err(format!(
+                            "invalid value for --fault: '{other}' (none|crash|crash:N[,N...])"
+                        ))
+                    }
+                },
+            };
+            let report = vt_analyze::analyze(&cfg)?;
+            if !dot_path.is_empty() {
+                if let Some(w) = &report.counterexample {
+                    std::fs::write(&dot_path, w.dot())
+                        .map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+                }
+            }
+            let rendered = if format == "json" {
+                let mut j = report.to_json();
+                j.push('\n');
+                j
+            } else {
+                report.render()
+            };
+            if report.certified() {
+                rendered
+            } else {
+                return Err(format!("configuration NOT certified\n{rendered}"));
+            }
+        }
         "topo" => {
             let kind = flags.take_topology(TopologyKind::Mfcg)?;
             let nodes: u32 = flags.take("nodes", 64)?;
@@ -396,6 +483,97 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Crash victim used by `vtsim analyze --fault crash`: the first forwarder
+/// on the diameter route node 0 -> node `n-1`, an *interior* node with
+/// full route-around diversity. (Crashing a partial-slice boundary node
+/// can genuinely partition live pairs — the analyzer refuses those
+/// configurations, see `vt-analyze`'s boundary-crash test.) When every
+/// route is direct (FCG), a non-endpoint node is crashed instead so
+/// dead-endpoint handling is still exercised.
+fn crash_victim(kind: TopologyKind, nodes: u32) -> Option<u32> {
+    if nodes < 3 {
+        return None;
+    }
+    let topo = kind.try_build(nodes).ok()?;
+    match topo.next_hop(0, nodes - 1) {
+        Some(h) if h != 0 && h != nodes - 1 => Some(h),
+        _ => Some(1),
+    }
+}
+
+/// The CI verification matrix: every topology at representative sizes —
+/// including non-power-of-two and partial LDF packings — crossed with
+/// coalescing on/off and {fault-free, forwarder crash}. Fails (non-zero
+/// exit) when any cell is not certified; the JSON carries the per-cell
+/// reports plus the `all_certified` gate bit.
+fn analyze_matrix(format: &str) -> Result<String, String> {
+    // Representative populations per topology, including non-power-of-two
+    // and partially-packed LDF sizes. Partial packings are single-fault
+    // tolerant only outside the top slice's escape-critical set (the
+    // analyzer itself established that — see vt-analyze's boundary-crash
+    // test), so the two partial cells pin a victim from the safe region;
+    // full packings use the default interior forwarder.
+    type MatrixRow = (TopologyKind, &'static [(u32, Option<u32>)]);
+    let sizes: [MatrixRow; 4] = [
+        (TopologyKind::Fcg, &[(12, None)]),
+        (TopologyKind::Mfcg, &[(16, None), (23, Some(20))]),
+        (TopologyKind::Cfcg, &[(27, None), (29, Some(25))]),
+        (TopologyKind::Hypercube, &[(8, None), (16, None)]),
+    ];
+    let mut cells = Vec::new();
+    let mut human = String::new();
+    let mut all = true;
+    for (kind, ns) in sizes {
+        for &(n, pinned) in ns {
+            for coalesce in [false, true] {
+                for fault in [false, true] {
+                    let mut cfg = vt_analyze::AnalyzeConfig::new(kind, n);
+                    cfg.coalescing = coalesce;
+                    if fault {
+                        cfg.dead_sequence = pinned
+                            .or_else(|| crash_victim(kind, n))
+                            .into_iter()
+                            .collect();
+                    }
+                    let report = vt_analyze::analyze(&cfg)?;
+                    let ok = report.certified();
+                    all &= ok;
+                    human.push_str(&format!(
+                        "{:10} n={:<3} coalesce={:3} fault={:5}  {}\n",
+                        kind.name(),
+                        n,
+                        if coalesce { "on" } else { "off" },
+                        if fault { "crash" } else { "none" },
+                        if ok { "CERTIFIED" } else { "NOT CERTIFIED" },
+                    ));
+                    cells.push(report.to_json());
+                }
+            }
+        }
+    }
+    let out = if format == "json" {
+        format!(
+            "{{\"all_certified\":{all},\"cells\":[{}]}}\n",
+            cells.join(",")
+        )
+    } else {
+        format!(
+            "{human}matrix: {} cells, {}\n",
+            cells.len(),
+            if all {
+                "all CERTIFIED"
+            } else {
+                "NOT all certified"
+            }
+        )
+    };
+    if all {
+        Ok(out)
+    } else {
+        Err(format!("verification matrix NOT fully certified\n{out}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +623,73 @@ mod tests {
         let out = run_command("topo", &s(&["--topology", "mfcg", "--nodes", "97"])).unwrap();
         assert!(out.contains("deadlock-free: true"));
         assert!(out.contains("97 nodes"));
+    }
+
+    #[test]
+    fn analyze_command_certifies_and_reports() {
+        let out = run_command(
+            "analyze",
+            &s(&["--topology", "mfcg", "--nodes", "23", "--fault", "crash:20"]),
+        )
+        .unwrap();
+        assert!(out.contains("CERTIFIED deadlock-free"), "{out}");
+        assert!(out.contains("acyclicity"));
+        assert!(out.contains("model-check"));
+    }
+
+    #[test]
+    fn analyze_command_emits_json() {
+        let out = run_command(
+            "analyze",
+            &s(&[
+                "--topology",
+                "cfcg",
+                "--nodes",
+                "27",
+                "--coalesce",
+                "on",
+                "--model",
+                "off",
+                "--format",
+                "json",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("\"certified\":true"), "{out}");
+        assert!(out.contains("\"coalescing-refold\""));
+    }
+
+    #[test]
+    fn analyze_command_refuses_partition_and_bad_flags() {
+        // Crashing the escape-critical boundary node genuinely partitions
+        // the 23-node partial MFCG packing; the command must error so
+        // vtsim exits non-zero.
+        let out = run_command(
+            "analyze",
+            &s(&[
+                "--topology",
+                "mfcg",
+                "--nodes",
+                "23",
+                "--fault",
+                "crash:2",
+                "--model",
+                "off",
+            ]),
+        );
+        let err = out.unwrap_err();
+        assert!(err.contains("NOT certified"), "{err}");
+        assert!(err.contains("dead-ends"), "{err}");
+        assert!(run_command("analyze", &s(&["--fault", "melt"])).is_err());
+        assert!(run_command("analyze", &s(&["--coalesce", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn analyze_matrix_certifies_every_cell() {
+        let out = run_command("analyze", &s(&["--matrix", "on", "--format", "json"])).unwrap();
+        assert!(out.contains("\"all_certified\":true"), "{out}");
+        // 4 topologies x sizes x coalescing x fault = 28 cells.
+        assert_eq!(out.matches("\"topology\"").count(), 28, "{out}");
     }
 
     #[test]

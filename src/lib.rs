@@ -17,6 +17,11 @@
 //! * [`apps`] (`vt-apps`) — workloads: hot-spot contention microbenchmarks,
 //!   a NAS LU proxy and NWChem DFT/CCSD proxies, plus a parallel sweep
 //!   runner.
+//! * [`analyze`] (`vt-analyze`) — static protocol verifier: buffer/credit
+//!   dependency-graph acyclicity (with DOT counterexamples), forwarding
+//!   totality and depth bounds, `N x B x M` budget accounting, and an
+//!   exhaustive small-N model checker; `vtsim analyze` and the experiment
+//!   drivers' pre-flight gate.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
 //! the system inventory.
@@ -25,6 +30,7 @@
 #![warn(missing_docs)]
 pub mod cli;
 
+pub use vt_analyze as analyze;
 pub use vt_apps as apps;
 pub use vt_armci as armci;
 pub use vt_core as core;

@@ -23,11 +23,29 @@ fn golden_path(name: &str) -> PathBuf {
         .join(name)
 }
 
+/// Regenerating a snapshot bakes the current model's numbers into the
+/// repository, so refuse outright when `vt-analyze` will not certify the
+/// figure configurations (16 nodes x 4 ppn, coalescing off, fault-free,
+/// every topology): numbers produced by an uncertified protocol are not
+/// worth committing.
+fn assert_figure_configs_certified() {
+    for kind in TopologyKind::ALL {
+        let rt = vt_armci::RuntimeConfig::new(64, kind);
+        if let Err(report) = vt_analyze::certify(&rt, None) {
+            panic!(
+                "refusing to regenerate golden snapshots: the {kind} figure \
+                 configuration is not certified by vt-analyze\n{report}"
+            );
+        }
+    }
+}
+
 /// Compares `actual` against the checked-in snapshot, or rewrites the
 /// snapshot when `VT_UPDATE_GOLDEN` is set.
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if std::env::var_os("VT_UPDATE_GOLDEN").is_some() {
+        assert_figure_configs_certified();
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, actual).unwrap();
         return;
