@@ -62,6 +62,11 @@ pub struct AnalyzeConfig {
     /// Run the exhaustive small-N model checker (at a scaled-down node
     /// count when `nodes` exceeds [`model::MAX_MODEL_NODES`]).
     pub model_check: bool,
+    /// Membership repair is enabled in the runtime: the model checker
+    /// additionally explores epoch commits, stale-epoch rejection and
+    /// re-routing over the survivor packing (see
+    /// [`model::ModelConfig::membership`]).
+    pub membership: bool,
 }
 
 impl AnalyzeConfig {
@@ -77,6 +82,7 @@ impl AnalyzeConfig {
             coalescing: false,
             dead_sequence: Vec::new(),
             model_check: true,
+            membership: false,
         }
     }
 
@@ -92,6 +98,7 @@ impl AnalyzeConfig {
             coalescing: cfg.coalesce.enabled,
             dead_sequence: plan.map(FaultPlan::crashed_nodes).unwrap_or_default(),
             model_check: false,
+            membership: cfg.membership.enabled,
         }
     }
 
@@ -200,8 +207,9 @@ pub fn analyze(cfg: &AnalyzeConfig) -> Result<AnalysisReport, String> {
 
     let model = if cfg.model_check {
         let model_nodes = model_scale(cfg.topology, cfg.nodes);
-        let scenario =
+        let mut scenario =
             model::ModelConfig::scenario(cfg.topology, model_nodes, !cfg.dead_sequence.is_empty());
+        scenario.membership = cfg.membership;
         match model::check(&scenario) {
             Ok(rep) => {
                 checks.push(CheckResult {
@@ -262,6 +270,38 @@ fn model_scale(kind: TopologyKind, nodes: u32) -> u32 {
 /// Returns the rendered report when any check fails.
 pub fn certify(cfg: &RuntimeConfig, plan: Option<&FaultPlan>) -> Result<(), String> {
     let report = analyze(&AnalyzeConfig::from_runtime(cfg, plan))?;
+    if report.certified() {
+        Ok(())
+    } else {
+        Err(report.render())
+    }
+}
+
+/// Certifier for live membership repairs: statically verifies the
+/// topology the runtime is about to commit for an epoch — `kind`
+/// re-packed densely over `survivors` live nodes (so fault-free by
+/// construction: the crashed nodes are no longer part of the grid).
+/// Shaped to match `vt_armci::RepairCertifier`, so drivers install it
+/// directly:
+///
+/// ```
+/// use vt_armci::{RuntimeConfig, Simulation, ScriptProgram, FaultPlan};
+/// use vt_core::TopologyKind;
+///
+/// let mut cfg = RuntimeConfig::new(8, TopologyKind::Mfcg);
+/// cfg.membership = vt_armci::MembershipConfig::on();
+/// let sim = Simulation::build_with_faults(cfg, |_| ScriptProgram::new(vec![]), &FaultPlan::new())
+///     .with_repair_certifier(vt_analyze::certify_repair);
+/// sim.run().unwrap();
+/// ```
+///
+/// # Errors
+/// Returns the rendered report when any static check fails; the runtime
+/// then falls to the next rung of the fallback ladder.
+pub fn certify_repair(kind: TopologyKind, survivors: u32) -> Result<(), String> {
+    let mut cfg = AnalyzeConfig::new(kind, survivors);
+    cfg.model_check = false;
+    let report = analyze(&cfg)?;
     if report.certified() {
         Ok(())
     } else {
@@ -341,6 +381,18 @@ mod tests {
     fn runtime_preflight_certifies_paper_config() {
         let rt = RuntimeConfig::new(64, TopologyKind::Mfcg);
         assert!(certify(&rt, None).is_ok());
+    }
+
+    #[test]
+    fn repair_certifier_accepts_survivor_packings_and_rejects_bad_rungs() {
+        // The boundary-crash populations that are refused as *faulted*
+        // partial packings certify cleanly once re-packed densely over
+        // the survivors — the repaired grid has no dead nodes left.
+        assert!(certify_repair(TopologyKind::Mfcg, 22).is_ok());
+        assert!(certify_repair(TopologyKind::Cfcg, 28).is_ok());
+        // A rung the population cannot satisfy is rejected, pushing the
+        // runtime down the fallback ladder.
+        assert!(certify_repair(TopologyKind::Hypercube, 15).is_err());
     }
 
     #[test]

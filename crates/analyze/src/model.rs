@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use vt_armci::forward_decision;
-use vt_core::{Shape, TopologyKind, VirtualTopology};
+use vt_core::{repack, Shape, SurvivorPacking, TopologyKind, VirtualTopology};
 
 /// Hard ceiling on model-checkable node counts: beyond this the state
 /// space stops being "exhaustive in milliseconds" and becomes a job.
@@ -55,6 +55,16 @@ pub struct ModelConfig {
     /// duplicate copy of a request that is still in flight — the move
     /// that makes exactly-once non-trivial.
     pub spurious_timeouts: u8,
+    /// Model membership epochs: every confirmed crash is followed by an
+    /// epoch commit that re-packs the survivors ([`vt_core::repack`]) and
+    /// re-routes subsequent launches over the repaired grid, while copies
+    /// stamped with an older epoch are rejected wherever they surface
+    /// (arrival, head-of-line, un-parking) and replayed by their origin's
+    /// timer. The commit itself is a local scheduler event, not a lossy
+    /// network move, so it is modelled with priority: when a commit is
+    /// pending it is the only enabled transition (the runtime's drain
+    /// window is orders of magnitude shorter than the retry budget).
+    pub membership: bool,
     /// Abort the search beyond this many distinct states.
     pub max_states: u64,
 }
@@ -90,8 +100,15 @@ impl ModelConfig {
             crash_sequence,
             max_retries: 3,
             spurious_timeouts: 1,
+            membership: false,
             max_states: 5_000_000,
         }
+    }
+
+    /// Enables membership-epoch modelling (builder style).
+    pub fn with_membership(mut self) -> Self {
+        self.membership = true;
+        self
     }
 }
 
@@ -195,20 +212,49 @@ struct State {
     attempt: Vec<u8>,
     /// How many entries of the crash sequence have fired.
     crashed: u8,
+    /// How many crashes a membership epoch commit has repaired; the
+    /// current epoch number equals this count. Always 0 with membership
+    /// off.
+    committed: u8,
+    /// The epoch each copy slot was last launched under; a copy with
+    /// `copy_epoch < committed` is stale and rejected wherever it
+    /// surfaces.
+    copy_epoch: Vec<u8>,
     spurious_left: u8,
 }
 
 /// One enabled protocol move.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum Tr {
-    Issue { r: u8, c: u8 },
-    Deliver { r: u8, c: u8 },
-    Service { node: u8 },
-    ForwardParked { r: u8, c: u8 },
-    RespArrive { r: u8, c: u8 },
-    Timeout { r: u8, c: u8 },
-    Spurious { r: u8 },
+    Issue {
+        r: u8,
+        c: u8,
+    },
+    Deliver {
+        r: u8,
+        c: u8,
+    },
+    Service {
+        node: u8,
+    },
+    ForwardParked {
+        r: u8,
+        c: u8,
+    },
+    RespArrive {
+        r: u8,
+        c: u8,
+    },
+    Timeout {
+        r: u8,
+        c: u8,
+    },
+    Spurious {
+        r: u8,
+    },
     Crash,
+    /// Membership epoch commit: repairs all confirmed crashes at once.
+    Commit,
 }
 
 /// A coarse resource footprint for the independence relation: two
@@ -229,6 +275,11 @@ struct Checker<'a> {
     n: u32,
     origin: Vec<u8>,
     target: Vec<u8>,
+    /// Survivor packing per commit level: `packings[k]` repairs the first
+    /// `k + 1` crashes of the sequence (`None` where re-packing is
+    /// impossible). Precomputed — the crash schedule is fixed, so the
+    /// packing after `k` commits is too.
+    packings: Vec<Option<SurvivorPacking>>,
     report: ModelReport,
     /// Visited states with the sleep sets they were explored under; a
     /// state is skipped only if a previous visit used a **subset** sleep
@@ -250,7 +301,51 @@ impl<'a> Checker<'a> {
         self.cfg.crash_sequence[..usize::from(st.crashed)].contains(&u32::from(node))
     }
 
+    fn stale(&self, st: &State, r: u8, c: u8) -> bool {
+        self.cfg.membership && st.copy_epoch[2 * usize::from(r) + usize::from(c)] < st.committed
+    }
+
+    /// The routing decision for `current -> dest` (issued from `prev`)
+    /// under the state's membership view: the repaired survivor packing
+    /// once an epoch has committed, the crash-avoiding route over the
+    /// original grid otherwise.
+    fn route_hop(
+        &self,
+        st: &State,
+        prev: u8,
+        current: u8,
+        dest: u8,
+        class: u8,
+    ) -> Option<(u8, u8)> {
+        if self.cfg.membership && st.committed > 0 {
+            let p = self.packings[usize::from(st.committed) - 1].as_ref()?;
+            let cs = p.slot_of(u32::from(current))?;
+            let ds = p.slot_of(u32::from(dest))?;
+            let ps = p.slot_of(u32::from(prev)).unwrap_or(cs);
+            let (hop, nclass) =
+                forward_decision(p.grid().shape(), p.num_live(), ps, cs, ds, class, &[])?;
+            Some((p.node_of(hop) as u8, nclass))
+        } else {
+            forward_decision(
+                &self.shape,
+                self.n,
+                u32::from(prev),
+                u32::from(current),
+                u32::from(dest),
+                class,
+                &self.dead(st),
+            )
+            .map(|(hop, nclass)| (hop as u8, nclass))
+        }
+    }
+
     fn enabled(&self, st: &State) -> Vec<Tr> {
+        // A pending epoch commit pre-empts everything: the runtime's
+        // drain window is a local timer far shorter than any retry
+        // budget, so no other move races it.
+        if self.cfg.membership && st.crashed > st.committed {
+            return vec![Tr::Commit];
+        }
         let mut out = Vec::new();
         for (i, &cp) in st.copies.iter().enumerate() {
             let r = (i / 2) as u8;
@@ -308,23 +403,14 @@ impl<'a> Checker<'a> {
     }
 
     /// Launches a (re)issue of request `r` from its origin under the
-    /// current dead set, returning the copy's new state.
+    /// current membership view, returning the copy's new state.
     fn launch(&self, st: &State, r: usize) -> Cp {
         let o = self.origin[r];
         let t = self.target[r];
-        let dead = self.dead(st);
-        match forward_decision(
-            &self.shape,
-            self.n,
-            u32::from(o),
-            u32::from(o),
-            u32::from(t),
-            0,
-            &dead,
-        ) {
+        match self.route_hop(st, o, o, t, 0) {
             Some((hop, class)) => Cp::InFlight {
                 from: o,
-                to: hop as u8,
+                to: hop,
                 class,
                 cht: false,
             },
@@ -355,6 +441,7 @@ impl<'a> Checker<'a> {
                     s.done[r] = true;
                     s.copies[2 * r + c] = Cp::Gone;
                 } else {
+                    s.copy_epoch[2 * r + c] = s.committed;
                     let cp = self.launch(&s, r);
                     if cp == Cp::Gone && !Self::other_copy_live(&s, r, c) && !s.done[r] {
                         s.failed[r] = true;
@@ -376,6 +463,12 @@ impl<'a> Checker<'a> {
                 if self.is_dead(&s, to) {
                     // Message swallowed by the crash; the buffer it held
                     // is reclaimed with the dead endpoint.
+                    Self::release(&mut s, from, to, class, cht);
+                    s.copies[2 * ri + ci] = Cp::AwaitTimeout;
+                } else if self.stale(&s, r, c) {
+                    // Stale-epoch arrival: the receiver acks (freeing the
+                    // inbound buffer) and discards; the origin's timer
+                    // replays the operation under the current epoch.
                     Self::release(&mut s, from, to, class, cht);
                     s.copies[2 * ri + ci] = Cp::AwaitTimeout;
                 } else {
@@ -402,7 +495,12 @@ impl<'a> Checker<'a> {
                 };
                 debug_assert_eq!(at, node);
                 let t = self.target[ri];
-                if node == t {
+                if self.stale(&s, r, c) {
+                    // Head-of-line stale rejection: ack and discard, the
+                    // origin's timer replays under the current epoch.
+                    Self::release(&mut s, from, at, class, cht);
+                    s.copies[2 * ri + ci] = Cp::AwaitTimeout;
+                } else if node == t {
                     Self::release(&mut s, from, at, class, cht);
                     if !s.marked[ri] {
                         s.executed[ri] += 1;
@@ -410,22 +508,12 @@ impl<'a> Checker<'a> {
                     }
                     s.copies[2 * ri + ci] = Cp::Responding;
                 } else {
-                    let dead = self.dead(&s);
-                    match forward_decision(
-                        &self.shape,
-                        self.n,
-                        u32::from(from),
-                        u32::from(node),
-                        u32::from(t),
-                        class,
-                        &dead,
-                    ) {
+                    match self.route_hop(&s, from, node, t, class) {
                         None => {
                             Self::release(&mut s, from, at, class, cht);
                             s.copies[2 * ri + ci] = Cp::AwaitTimeout;
                         }
                         Some((hop, nclass)) => {
-                            let hop = hop as u8;
                             let acct = (node, hop, nclass);
                             if *s.credits.get(&acct).unwrap_or(&0) < CAP {
                                 *s.credits.entry(acct).or_insert(0) += 1;
@@ -463,14 +551,22 @@ impl<'a> Checker<'a> {
                 else {
                     unreachable!("forward on non-parked copy");
                 };
-                *s.credits.entry((at, to, nclass)).or_insert(0) += 1;
-                Self::release(&mut s, from, at, class, cht);
-                s.copies[2 * ri + ci] = Cp::InFlight {
-                    from: at,
-                    to,
-                    class: nclass,
-                    cht: true,
-                };
+                if self.stale(&s, r, c) {
+                    // The credit the parked copy was waiting for freed
+                    // after an epoch commit: reject instead of forwarding
+                    // (the runtime's head-of-line stale check).
+                    Self::release(&mut s, from, at, class, cht);
+                    s.copies[2 * ri + ci] = Cp::AwaitTimeout;
+                } else {
+                    *s.credits.entry((at, to, nclass)).or_insert(0) += 1;
+                    Self::release(&mut s, from, at, class, cht);
+                    s.copies[2 * ri + ci] = Cp::InFlight {
+                        from: at,
+                        to,
+                        class: nclass,
+                        cht: true,
+                    };
+                }
             }
             Tr::RespArrive { r, c } => {
                 let (ri, ci) = (usize::from(r), usize::from(c));
@@ -492,6 +588,7 @@ impl<'a> Checker<'a> {
                     }
                 } else {
                     s.attempt[ri] += 1;
+                    s.copy_epoch[2 * ri + ci] = s.committed;
                     let cp = self.launch(&s, ri);
                     if cp == Cp::Gone && !Self::other_copy_live(&s, ri, ci) {
                         s.failed[ri] = true;
@@ -503,6 +600,7 @@ impl<'a> Checker<'a> {
                 let ri = usize::from(r);
                 s.spurious_left -= 1;
                 s.attempt[ri] += 1;
+                s.copy_epoch[2 * ri + 1] = s.committed;
                 s.copies[2 * ri + 1] = self.launch(&s, ri);
             }
             Tr::Crash => {
@@ -580,6 +678,12 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
+            Tr::Commit => {
+                // Epoch bump: all confirmed crashes repaired at once.
+                // Copies keep their old stamps and are rejected lazily
+                // where they surface; replays re-stamp at launch.
+                s.committed = s.crashed;
+            }
         }
         s
     }
@@ -649,16 +753,17 @@ impl<'a> Checker<'a> {
             Tr::RespArrive { r, .. } => vec![Res::Req(r)],
             Tr::Timeout { r, .. } => vec![Res::Req(r)],
             Tr::Spurious { r } => vec![Res::Req(r), Res::Budget],
-            Tr::Crash => Vec::new(), // handled specially: dependent with all
+            // Both handled specially: dependent with all.
+            Tr::Crash | Tr::Commit => Vec::new(),
         }
     }
 
-    /// Conservative independence: `Crash` commutes with nothing (it
-    /// rewrites the dead set every router consults), `Spurious` moves
-    /// share the budget, and everything else commutes iff resource
-    /// footprints are disjoint.
+    /// Conservative independence: `Crash` and `Commit` commute with
+    /// nothing (they rewrite the membership view every router consults),
+    /// `Spurious` moves share the budget, and everything else commutes
+    /// iff resource footprints are disjoint.
     fn independent(&self, st: &State, a: Tr, b: Tr) -> bool {
-        if matches!(a, Tr::Crash) || matches!(b, Tr::Crash) {
+        if matches!(a, Tr::Crash | Tr::Commit) || matches!(b, Tr::Crash | Tr::Commit) {
             return false;
         }
         let fa = self.footprint(st, a);
@@ -826,14 +931,27 @@ pub fn check(cfg: &ModelConfig) -> Result<ModelReport, String> {
         marked: vec![false; nreq],
         attempt: vec![0; nreq],
         crashed: 0,
+        committed: 0,
+        copy_epoch: vec![0; 2 * nreq],
         spurious_left: cfg.spurious_timeouts,
     };
+    // The packing after k commits depends only on the (fixed) crash
+    // schedule prefix, so all of them are computed up front.
+    let packings = (1..=cfg.crash_sequence.len())
+        .map(|k| {
+            let mut dead = cfg.crash_sequence[..k].to_vec();
+            dead.sort_unstable();
+            dead.dedup();
+            repack(cfg.topology, cfg.nodes, &dead).ok()
+        })
+        .collect();
     let mut checker = Checker {
         cfg,
         shape: topo.shape().clone(),
         n: cfg.nodes,
         origin: cfg.requests.iter().map(|&(o, _)| o as u8).collect(),
         target: cfg.requests.iter().map(|&(_, t)| t as u8).collect(),
+        packings,
         report: ModelReport::default(),
         visited: HashMap::new(),
         aborted: false,
@@ -885,6 +1003,26 @@ mod tests {
         let rep = check(&cfg).unwrap();
         assert!(rep.sleep_skips > 0, "reduction should prune something");
         assert!(rep.passed());
+    }
+
+    #[test]
+    fn epoch_commit_keeps_exactly_once_and_no_leaks() {
+        // Same crash scenario as above, but with membership on: the
+        // commit re-packs the survivors, stale-epoch copies are rejected
+        // at arrival / head-of-line / un-parking, and replays re-route
+        // over the repaired grid. Exactly-once and zero credit leaks
+        // must survive every interleaving of all of that.
+        for kind in [TopologyKind::Mfcg, TopologyKind::Cfcg] {
+            let n = if kind == TopologyKind::Cfcg { 6 } else { 4 };
+            let cfg = ModelConfig::scenario(kind, n, true).with_membership();
+            assert!(
+                !cfg.crash_sequence.is_empty(),
+                "scenario must crash someone"
+            );
+            let rep = check(&cfg).unwrap();
+            assert!(rep.passed(), "{kind}: {:?}", rep.violations);
+            assert!(rep.quiescent > 0);
+        }
     }
 
     #[test]

@@ -157,6 +157,10 @@ pub struct ContentionConfig {
     /// Override of the request-coalescing policy (ablations). `None` keeps
     /// the runtime default (off).
     pub coalesce: Option<vt_armci::CoalesceConfig>,
+    /// Override of the membership/repair policy (ablations). `None` keeps
+    /// the runtime default (off), which is byte-identical to a build
+    /// without the subsystem.
+    pub membership: Option<vt_armci::MembershipConfig>,
 }
 
 impl ContentionConfig {
@@ -177,6 +181,7 @@ impl ContentionConfig {
             net: None,
             pipelined_contenders: false,
             coalesce: None,
+            membership: None,
         }
     }
 }
@@ -364,6 +369,9 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
     if let Some(c) = cfg.coalesce {
         rt.coalesce = c;
     }
+    if let Some(m) = cfg.membership {
+        rt.membership = m;
+    }
     // Pre-flight: refuse to burn simulation time on a configuration the
     // static verifier cannot certify deadlock-free.
     if let Err(report) = vt_analyze::certify(&rt, None) {
@@ -439,6 +447,7 @@ mod tests {
             net: None,
             pipelined_contenders: false,
             coalesce: None,
+            membership: None,
         }
     }
 

@@ -17,7 +17,10 @@
 //! availability `1 − ppn/P` all the same.
 
 use serde::{Deserialize, Serialize};
-use vt_armci::{Action, FaultPlan, Rank, RuntimeConfig, ScriptProgram, SimTime, Simulation};
+use vt_armci::{
+    Action, FaultPlan, MembershipConfig, Rank, RepairStats, RuntimeConfig, ScriptProgram, SimTime,
+    Simulation,
+};
 use vt_core::{TopologyKind, VirtualTopology};
 
 /// Configuration of a forwarder-kill run.
@@ -35,6 +38,11 @@ pub struct FaultScenarioConfig {
     pub kill_at: SimTime,
     /// Root seed.
     pub seed: u64,
+    /// Run with membership repair enabled: the failure detector confirms
+    /// the crash and an epoch commit re-packs the survivors (with
+    /// `vt-analyze` certifying the repaired topology), instead of relying
+    /// on retry/route-around alone.
+    pub membership: bool,
 }
 
 impl FaultScenarioConfig {
@@ -48,6 +56,7 @@ impl FaultScenarioConfig {
             ops_per_rank: 8,
             kill_at: SimTime::from_micros(300),
             seed: 0xFA17,
+            membership: false,
         }
     }
 
@@ -97,6 +106,9 @@ pub struct FaultOutcome {
     pub reclaims: u64,
     /// Duplicates suppressed by the target-side dedup table.
     pub dedup_hits: u64,
+    /// Membership / repair activity counters (all zero with membership
+    /// off).
+    pub repair: RepairStats,
 }
 
 impl FaultOutcome {
@@ -114,6 +126,9 @@ fn runtime_config(cfg: &FaultScenarioConfig) -> RuntimeConfig {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
     rt.seed = cfg.seed;
+    if cfg.membership {
+        rt.membership = MembershipConfig::on();
+    }
     rt
 }
 
@@ -154,16 +169,22 @@ pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
     // dependency graph acyclic over every crash prefix, and every
     // surviving pair still routable. A partial packing whose victim is
     // escape-critical is refused here instead of producing a run whose
-    // "failed ops" are really a partitioned topology.
-    if let Err(report) = vt_analyze::certify(&runtime_config(cfg), Some(&plan)) {
-        panic!("pre-flight verification failed:\n{report}");
+    // "failed ops" are really a partitioned topology. With membership on
+    // the refusal is survivable by design (live re-packing certifies at
+    // repair time instead — see `crate::repair`), so the gate is skipped.
+    if !cfg.membership {
+        if let Err(report) = vt_analyze::certify(&runtime_config(cfg), Some(&plan)) {
+            panic!("pre-flight verification failed:\n{report}");
+        }
     }
     let healthy = build(cfg, &FaultPlan::default())
         .run()
         .expect("healthy baseline must complete");
-    let report = build(cfg, &plan)
-        .run()
-        .expect("faulted run must terminate cleanly");
+    let mut faulted = build(cfg, &plan);
+    if cfg.membership {
+        faulted = faulted.with_repair_certifier(vt_analyze::certify_repair);
+    }
+    let report = faulted.run().expect("faulted run must terminate cleanly");
     FaultOutcome {
         exec_seconds: report.finish_time.as_secs_f64(),
         healthy_seconds: healthy.finish_time.as_secs_f64(),
@@ -176,6 +197,7 @@ pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
         reroutes: report.faults.reroutes,
         reclaims: report.faults.reclaims,
         dedup_hits: report.faults.dedup_hits,
+        repair: report.repair,
     }
 }
 
@@ -228,5 +250,22 @@ mod tests {
         assert_eq!(a.exec_seconds, b.exec_seconds);
         assert_eq!(a.retries, b.retries);
         assert_eq!(a.reroutes, b.reroutes);
+    }
+
+    #[test]
+    fn membership_completes_the_same_scenario_with_repair_counters() {
+        // Enough work that the run outlives the ~8 ms detection horizon:
+        // the interior-victim crash is repaired mid-run (route-around
+        // bridges the gap until the epoch commits).
+        let mut cfg = small(TopologyKind::Mfcg);
+        cfg.membership = true;
+        cfg.ops_per_rank = 80;
+        let o = run(&cfg);
+        assert_eq!(o.failed_ops, 0, "{o:?}");
+        assert!(o.repair.epoch_bumps >= 1, "{o:?}");
+        assert!(o.availability > 0.9);
+        // Without membership the same run reports all-zero repair stats.
+        let base = run(&small(TopologyKind::Mfcg));
+        assert_eq!(base.repair, vt_armci::RepairStats::default());
     }
 }

@@ -32,6 +32,7 @@ pub mod gups;
 pub mod lu;
 pub mod nwchem_ccsd;
 pub mod nwchem_dft;
+pub mod repair;
 pub mod report;
 pub mod sweep;
 
@@ -41,5 +42,6 @@ pub use gups::{GupsConfig, GupsOutcome};
 pub use lu::{LuConfig, LuOutcome};
 pub use nwchem_ccsd::{CcsdConfig, CcsdOutcome};
 pub use nwchem_dft::{DftConfig, DftOutcome};
+pub use repair::{RepairOutcome, RepairScenarioConfig};
 pub use report::{Panel, Series, Table};
 pub use sweep::run_parallel;

@@ -188,6 +188,64 @@ impl CoalesceConfig {
     }
 }
 
+/// Membership / failure-detection policy for surviving *permanent* node
+/// loss.
+///
+/// When enabled (and a fault plan is installed), every CHT runs a
+/// phi-accrual failure detector over the traffic it already sees: request,
+/// envelope and response arrivals count as liveness evidence for their
+/// sender, and a node that has been silent for longer than
+/// `heartbeat_period` is probed with a tiny idle heartbeat. Once the
+/// accrued suspicion for a node crosses `phi_threshold`, the runtime
+/// confirms the crash, waits `drain_window` for in-flight requests to
+/// settle, and commits a new **membership epoch**: the survivor set is
+/// re-packed into a fresh lowest-dimension-first topology (falling down
+/// the dimension ladder if the repaired grid is refused by the installed
+/// certifier), buffer pools are re-derived, and every request issued from
+/// then on carries the new epoch so stale-epoch copies are rejected
+/// deterministically instead of corrupting dedup state.
+///
+/// Disabled by default; a disabled run schedules no membership events at
+/// all and is byte-for-byte identical to a build without the subsystem.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Master switch. `false` (the default) schedules no membership events
+    /// and leaves every timing decision untouched.
+    pub enabled: bool,
+    /// Detector tick and expected inter-evidence interval: nodes silent
+    /// longer than this are probed, and phi accrues against it.
+    pub heartbeat_period: SimTime,
+    /// Suspicion level (in units of expected intervals, phi-accrual style)
+    /// at which a silent node is declared crashed.
+    pub phi_threshold: f64,
+    /// How long after confirming a crash the runtime waits before
+    /// committing the new epoch, giving in-flight old-epoch requests a
+    /// chance to complete instead of being replayed.
+    pub drain_window: SimTime,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            enabled: false,
+            heartbeat_period: SimTime::from_millis(1),
+            phi_threshold: 8.0,
+            drain_window: SimTime::from_millis(2),
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// A policy with membership switched on and the default detector
+    /// parameters.
+    pub fn on() -> Self {
+        MembershipConfig {
+            enabled: true,
+            ..MembershipConfig::default()
+        }
+    }
+}
+
 /// Full configuration of a simulated ARMCI job.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -222,6 +280,9 @@ pub struct RuntimeConfig {
     pub retry: RetryConfig,
     /// Request-coalescing policy for the forwarding path (off by default).
     pub coalesce: CoalesceConfig,
+    /// Membership / failure-detection policy for permanent node loss (off
+    /// by default; only consulted when a fault plan is installed).
+    pub membership: MembershipConfig,
 }
 
 impl RuntimeConfig {
@@ -246,6 +307,7 @@ impl RuntimeConfig {
             seed: 0xA2C1,
             retry: RetryConfig::default(),
             coalesce: CoalesceConfig::default(),
+            membership: MembershipConfig::default(),
         }
     }
 
@@ -285,6 +347,16 @@ impl RuntimeConfig {
             "retry timeout must be positive"
         );
         assert!(self.retry.backoff >= 1, "backoff multiplier must be >= 1");
+        if self.membership.enabled {
+            assert!(
+                self.membership.heartbeat_period > SimTime::ZERO,
+                "heartbeat period must be positive"
+            );
+            assert!(
+                self.membership.phi_threshold > 0.0,
+                "phi threshold must be positive"
+            );
+        }
     }
 }
 

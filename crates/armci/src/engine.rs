@@ -19,12 +19,12 @@ use crate::cht::{Cht, ChtCounters};
 use crate::config::RuntimeConfig;
 use crate::ids::{NodeId, Rank, ReqId, Sender};
 use crate::layout::Layout;
-use crate::metrics::{CoalesceStats, FaultStats, Metrics};
+use crate::metrics::{CoalesceStats, FaultStats, Metrics, RepairStats};
 use crate::ops::{Op, OpKind};
 use crate::workload::{Action, ProcCtx, Program};
 use std::collections::{HashMap, HashSet};
 use vt_core::ldf::{self, HopDecision};
-use vt_core::{Grid, Shape, VirtualTopology};
+use vt_core::{Grid, Shape, SurvivorPacking, TopologyKind, VirtualTopology};
 use vt_simnet::fault::NodeCrash;
 use vt_simnet::{EventQueue, FaultPlan, Network, SendOutcome, SimTime};
 
@@ -57,7 +57,22 @@ enum Event {
     /// A coalesced envelope finished arriving at a node (coalescing runs
     /// only).
     EnvelopeArrive { env: u32, node: NodeId },
+    /// The failure detector's periodic evidence sweep (membership runs
+    /// only).
+    MembershipTick,
+    /// An idle heartbeat probe from `prober` landed at `node` (membership
+    /// runs only).
+    ProbeArrive { node: NodeId, prober: NodeId },
+    /// A probe acknowledgement arrived: fresh liveness evidence for `node`
+    /// (membership runs only).
+    ProbeAck { node: NodeId },
+    /// The drain window after a confirmed crash elapsed: re-pack the
+    /// survivors and bump the membership epoch (membership runs only).
+    EpochCommit,
 }
+
+/// Wire size of a failure-detector heartbeat probe (and its ack).
+const PROBE_BYTES: u64 = 16;
 
 /// An in-flight one-sided request.
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +114,11 @@ struct Request {
     /// node when it accounts the member against the envelope's single
     /// shared buffer credit.
     env_slot: u32,
+    /// Membership epoch the copy was issued (or retransmitted) in. Copies
+    /// from an earlier epoch than the receiver's are rejected
+    /// deterministically after a repair — their routing was chosen against
+    /// a packing that no longer exists. Always 0 with membership off.
+    epoch: u64,
 }
 
 /// Sentinel: the request is not an envelope member.
@@ -324,6 +344,8 @@ pub struct Report {
     pub faults: FaultStats,
     /// Request-coalescing activity (all zero with coalescing off).
     pub coalesce: CoalesceStats,
+    /// Membership / live-repair activity (all zero with membership off).
+    pub repair: RepairStats,
     /// Final fetch-&-add counter value per rank — the ground truth the
     /// differential (coalescing on vs off) tests compare.
     pub fetch_finals: Vec<i64>,
@@ -417,6 +439,62 @@ pub struct Engine {
     seen: HashMap<(u32, u64), DedupState>,
     failures: Vec<SimError>,
     faults: FaultStats,
+    /// Failure detector + epoch/repair state (inert unless
+    /// `cfg.membership.enabled` and a fault plan is installed).
+    membership: MembershipState,
+}
+
+/// Certifier consulted on every rung of the repair fallback ladder before
+/// an epoch commits: given a topology kind and a survivor count, accept the
+/// repaired packing or refuse it (falling the repair to the next-lower
+/// rung, ultimately the FCG over the survivors).
+///
+/// A plain function pointer so the layers above `vt-armci` can inject
+/// `vt_analyze::certify_repair` without a dependency cycle (`vt-analyze`
+/// depends on this crate). Without a certifier installed, repairs use the
+/// structural `TopologyKind::supports`/`try_build` checks only.
+pub type RepairCertifier = fn(TopologyKind, u32) -> Result<(), String>;
+
+/// Live membership view: the failure detector's evidence, the current
+/// epoch, and the post-repair survivor packing (once one committed).
+struct MembershipState {
+    /// Current membership epoch; requests are stamped with it at issue.
+    epoch: u64,
+    /// Last liveness evidence per node.
+    last_heard: Vec<SimTime>,
+    /// EWMA of inter-evidence intervals per node (ns) — the phi-accrual
+    /// expectation a silence is judged against.
+    mean_interval_ns: Vec<f64>,
+    /// Nodes currently over the phi threshold (de-dupes suspicion counts
+    /// until fresh evidence clears the doubt).
+    suspected: Vec<bool>,
+    /// Confirmed-dead nodes, sorted — the set the next repair packs
+    /// around. Lags the engine's omniscient `dead` set by detection time.
+    confirmed: Vec<NodeId>,
+    /// An `EpochCommit` is scheduled (a drain window is running).
+    pending_commit: bool,
+    /// The committed survivor packing; `None` until the first repair.
+    packing: Option<SurvivorPacking>,
+    /// Repair activity counters.
+    stats: RepairStats,
+    /// External per-rung repair certifier (see [`RepairCertifier`]).
+    certifier: Option<RepairCertifier>,
+}
+
+impl MembershipState {
+    fn new(n_nodes: u32, expected_interval: SimTime) -> Self {
+        MembershipState {
+            epoch: 0,
+            last_heard: vec![SimTime::ZERO; n_nodes as usize],
+            mean_interval_ns: vec![expected_interval.as_nanos() as f64; n_nodes as usize],
+            suspected: vec![false; n_nodes as usize],
+            confirmed: Vec::new(),
+            pending_commit: false,
+            packing: None,
+            stats: RepairStats::default(),
+            certifier: None,
+        }
+    }
 }
 
 /// Target-side record of an operation that already arrived at least once.
@@ -514,6 +592,7 @@ impl Engine {
             seen: HashMap::new(),
             failures: Vec::new(),
             faults: FaultStats::default(),
+            membership: MembershipState::new(n_nodes, cfg.membership.heartbeat_period),
             net,
             topo,
             layout,
@@ -526,6 +605,22 @@ impl Engine {
     /// before the fault layer existed).
     fn faults_on(&self) -> bool {
         self.net.faults_enabled()
+    }
+
+    /// Whether the membership layer is live: it needs both the config
+    /// switch and a fault plan (a fault-free run has nothing to detect and
+    /// must stay byte-identical to a build without the subsystem).
+    fn membership_on(&self) -> bool {
+        self.cfg.membership.enabled && self.faults_on()
+    }
+
+    /// Installs the external topology certifier consulted on every rung of
+    /// the repair fallback ladder before an epoch commits (typically
+    /// `vt_analyze::certify_repair`, injected from the layers above to
+    /// avoid a dependency cycle). Without one, repairs rely on structural
+    /// checks only.
+    pub fn set_repair_certifier(&mut self, certifier: RepairCertifier) {
+        self.membership.certifier = Some(certifier);
     }
 
     /// Ranks that can no longer enter the barrier or finish.
@@ -556,6 +651,10 @@ impl Engine {
         let crashes = std::mem::take(&mut self.crash_plan);
         for c in &crashes {
             self.queue.schedule(c.at, Event::NodeCrash { node: c.node });
+        }
+        if self.membership_on() {
+            self.queue
+                .schedule(self.cfg.membership.heartbeat_period, Event::MembershipTick);
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.dispatch(now, ev);
@@ -616,6 +715,7 @@ impl Engine {
             top_links,
             faults: self.faults,
             coalesce: self.coalesce,
+            repair: self.membership.stats,
             failures: self.failures,
             lost_ranks,
             fetch_finals,
@@ -658,6 +758,10 @@ impl Engine {
             Event::NodeCrash { node } => self.node_crash(now, node),
             Event::ChtEnvDone { node, env } => self.cht_env_done(now, node, env),
             Event::EnvelopeArrive { env, node } => self.envelope_arrive(now, env, node),
+            Event::MembershipTick => self.membership_tick(now),
+            Event::ProbeArrive { node, prober } => self.probe_arrive(now, node, prober),
+            Event::ProbeAck { node } => self.heard_from(node, now),
+            Event::EpochCommit => self.epoch_commit(),
         }
     }
 
@@ -803,6 +907,7 @@ impl Engine {
             fwd_next: src_node,
             fwd_class: 0,
             env_slot: NO_ENV,
+            epoch: self.membership.epoch,
         });
 
         if target_node == src_node {
@@ -866,28 +971,33 @@ impl Engine {
         } else {
             // CHT path over the virtual topology.
             let first = if self.faults_on() {
-                match ldf::next_hop_avoiding(
-                    &self.shape,
-                    self.layout.num_nodes(),
-                    src_node,
-                    target_node,
-                    &self.dead,
-                ) {
+                let (decision, rerouted) = self.first_hop(src_node, target_node);
+                match decision {
                     HopDecision::Hop(h) => {
-                        if self.topo.next_hop(src_node, target_node) != Some(h) {
+                        if rerouted {
                             self.faults.reroutes += 1;
                         }
-                        h
+                        Some(h)
                     }
                     HopDecision::Unreachable => {
-                        self.rank_fail(now, rank, req);
-                        return;
+                        if self.membership_on() && !self.net.node_dead(target_node, now) {
+                            // No live route *yet* — the target is alive but
+                            // an escape-critical node died. Park the
+                            // operation on its retry timer; the detector
+                            // will confirm the crash and the repaired
+                            // packing will route the retransmission.
+                            self.arm_timeout(now + self.cfg.issue_overhead, req);
+                            None
+                        } else {
+                            self.rank_fail(now, rank, req);
+                            return;
+                        }
                     }
                     HopDecision::Arrived => unreachable!("distinct nodes"),
                 }
             } else {
                 match self.topo.next_hop(src_node, target_node) {
-                    Some(h) => h,
+                    Some(h) => Some(h),
                     None => {
                         // A total forwarding table has a hop for every
                         // distinct live pair; a miswired custom topology is
@@ -897,25 +1007,27 @@ impl Engine {
                     }
                 }
             };
-            let key = CreditKey {
-                sender: Sender::Proc(rank),
-                edge: (src_node, first),
-                class: 0,
-            };
-            self.requests[req as usize].fwd_next = first;
-            self.requests[req as usize].fwd_class = 0;
-            if self.credits.try_acquire(key) {
-                let t0 = now + self.cfg.issue_overhead;
-                self.send_request(t0, req, src_node, first);
-                self.arm_timeout(t0, req);
-            } else {
-                self.credits.wait(key, Waiter::Proc(rank));
-                self.procs[rank.idx()].pending = Some(PendingIssue {
-                    req,
-                    first_hop: first,
-                });
-                self.procs[rank.idx()].phase = Phase::WaitingCredit;
-                return;
+            if let Some(first) = first {
+                let key = CreditKey {
+                    sender: Sender::Proc(rank),
+                    edge: (src_node, first),
+                    class: 0,
+                };
+                self.requests[req as usize].fwd_next = first;
+                self.requests[req as usize].fwd_class = 0;
+                if self.credits.try_acquire(key) {
+                    let t0 = now + self.cfg.issue_overhead;
+                    self.send_request(t0, req, src_node, first);
+                    self.arm_timeout(t0, req);
+                } else {
+                    self.credits.wait(key, Waiter::Proc(rank));
+                    self.procs[rank.idx()].pending = Some(PendingIssue {
+                        req,
+                        first_hop: first,
+                    });
+                    self.procs[rank.idx()].phase = Phase::WaitingCredit;
+                    return;
+                }
             }
         }
         if blocking {
@@ -1057,6 +1169,24 @@ impl Engine {
     // ----- server side ----------------------------------------------------
 
     fn request_arrive(&mut self, now: SimTime, req: ReqId, node: NodeId) {
+        if self.membership_on() {
+            let (prev, epoch) = {
+                let r = &self.requests[req as usize];
+                (r.prev_node, r.epoch)
+            };
+            // The message physically came from the previous hop: liveness
+            // evidence piggybacked on existing traffic.
+            self.heard_from(prev, now);
+            if epoch < self.membership.epoch {
+                // Stale-epoch copy: its route was chosen against a packing
+                // that no longer exists. Reject deterministically (freeing
+                // the upstream buffer) and let the origin's timer replay
+                // the operation under the new epoch.
+                self.membership.stats.replayed_requests += 1;
+                self.ack_member(now, node, req);
+                return;
+            }
+        }
         if self.chts[node as usize].enqueue(req) {
             self.queue.schedule(now, Event::ChtTryStart { node });
         }
@@ -1074,20 +1204,31 @@ impl Engine {
         }
         while let Some(req) = self.chts[node as usize].head() {
             let r = self.requests[req as usize];
+            if self.membership_on() && r.epoch < self.membership.epoch {
+                // A pre-repair copy still queued here: reject it like a
+                // stale arrival. A parked forward may have been granted its
+                // old-edge credit while waiting — release that too, or the
+                // repaired run leaks it.
+                self.membership.stats.replayed_requests += 1;
+                self.chts[node as usize].pop_head();
+                if r.credit_held {
+                    self.requests[req as usize].credit_held = false;
+                    let key = CreditKey {
+                        sender: Sender::Cht(node),
+                        edge: (node, r.fwd_next),
+                        class: r.fwd_class,
+                    };
+                    self.ack_arrive(now, key);
+                }
+                self.ack_member(now, node, req);
+                continue;
+            }
             let terminal = r.target_node == node;
             if !terminal && !r.credit_held {
                 let (next, class) = if self.faults_on() {
-                    match forward_decision(
-                        &self.shape,
-                        self.layout.num_nodes(),
-                        r.prev_node,
-                        node,
-                        r.target_node,
-                        r.vc_class,
-                        &self.dead,
-                    ) {
-                        Some((h, class)) => {
-                            if self.topo.next_hop(node, r.target_node) != Some(h) {
+                    match self.fwd_hop(r.prev_node, node, r.target_node, r.vc_class) {
+                        Some((h, class, rerouted)) => {
+                            if rerouted {
                                 self.faults.reroutes += 1;
                             }
                             (h, class)
@@ -1208,9 +1349,17 @@ impl Engine {
             edge: (node, hnext),
             class: hclass,
         };
+        let cur_epoch = self.membership.epoch;
+        let membership_on = self.membership_on();
         let requests = &self.requests;
         let parked = self.credits.take_waiters(key, |w| match w {
             Waiter::Fwd { req, .. } => {
+                // Stale-epoch parkers stay parked: once their old account
+                // releases they surface at head-of-line and are rejected
+                // with the proper bookkeeping there.
+                if membership_on && requests[*req as usize].epoch < cur_epoch {
+                    return false;
+                }
                 let rb = requests[*req as usize].op.request_bytes();
                 if wire + rb + sub <= max_bytes {
                     wire += rb + sub;
@@ -1236,25 +1385,19 @@ impl Engine {
             if rc.target_node == node || rc.credit_held {
                 continue;
             }
+            // Stale-epoch candidates stay queued for the head-of-line
+            // rejection pass; folding them into a fresh-epoch envelope
+            // would smuggle them past it.
+            if membership_on && rc.epoch < cur_epoch {
+                continue;
+            }
             let rb = rc.op.request_bytes();
             if wire + rb + sub > max_bytes {
                 continue;
             }
             let (cnext, cclass, rerouted) = if self.faults_on() {
-                match forward_decision(
-                    &self.shape,
-                    self.layout.num_nodes(),
-                    rc.prev_node,
-                    node,
-                    rc.target_node,
-                    rc.vc_class,
-                    &self.dead,
-                ) {
-                    Some((h, class)) => (
-                        h,
-                        class,
-                        self.topo.next_hop(node, rc.target_node) != Some(h),
-                    ),
+                match self.fwd_hop(rc.prev_node, node, rc.target_node, rc.vc_class) {
+                    Some(choice) => choice,
                     // Unreachable candidates stay queued; the head-of-line
                     // pass discards them with the proper ack.
                     None => continue,
@@ -1370,8 +1513,20 @@ impl Engine {
     fn envelope_arrive(&mut self, now: SimTime, env: u32, node: NodeId) {
         let members = self.envelopes[env as usize].members.clone();
         self.envelopes[env as usize].pending = members.len() as u32;
+        if self.membership_on() {
+            let from = self.envelopes[env as usize].from;
+            self.heard_from(from, now);
+        }
         let mut start = false;
         for m in members {
+            // Stale-epoch members are rejected here exactly as individual
+            // requests are at arrival; ack_member keeps the envelope's
+            // pending count and single aggregated ack correct.
+            if self.membership_on() && self.requests[m as usize].epoch < self.membership.epoch {
+                self.membership.stats.replayed_requests += 1;
+                self.ack_member(now, node, m);
+                continue;
+            }
             start |= self.chts[node as usize].enqueue(m);
         }
         if start {
@@ -1704,6 +1859,10 @@ impl Engine {
     fn response_arrive(&mut self, now: SimTime, req: ReqId) {
         let r = self.requests[req as usize];
         let rank = r.origin;
+        if self.membership_on() {
+            // The response proves the target's CHT was alive to serve it.
+            self.heard_from(r.target_node, now);
+        }
         if self.faults_on() {
             if !self.op_done.insert((rank.0, r.seq)) {
                 // A duplicate response (an earlier attempt already
@@ -1782,6 +1941,10 @@ impl Engine {
             fwd_next: old.origin_node,
             fwd_class: 0,
             env_slot: NO_ENV,
+            // Replays are re-stamped: a retransmission after an epoch
+            // commit carries the new epoch (same seq, so dedup still
+            // collapses it with any surviving old-epoch copy's response).
+            epoch: self.membership.epoch,
             ..old
         });
         // The timer for the new attempt starts now and covers any time the
@@ -1795,15 +1958,10 @@ impl Engine {
             self.send_direct(now, new_req);
             return;
         }
-        match ldf::next_hop_avoiding(
-            &self.shape,
-            self.layout.num_nodes(),
-            old.origin_node,
-            old.target_node,
-            &self.dead,
-        ) {
+        let (decision, rerouted) = self.first_hop(old.origin_node, old.target_node);
+        match decision {
             HopDecision::Hop(first) => {
-                if self.topo.next_hop(old.origin_node, old.target_node) != Some(first) {
+                if rerouted {
                     self.faults.reroutes += 1;
                 }
                 self.requests[new_req as usize].fwd_next = first;
@@ -1821,7 +1979,15 @@ impl Engine {
                     self.credits.wait(key, Waiter::Retry { req: new_req });
                 }
             }
-            HopDecision::Unreachable => self.rank_fail(now, rank, new_req),
+            HopDecision::Unreachable => {
+                // With membership on and a live target, unreachability is a
+                // symptom of a not-yet-repaired topology: the attempt's
+                // timer (armed above) will retry after the epoch commits
+                // and the survivor packing restores an escape route.
+                if !self.membership_on() || self.net.node_dead(old.target_node, now) {
+                    self.rank_fail(now, rank, new_req);
+                }
+            }
             HopDecision::Arrived => unreachable!("remote op"),
         }
     }
@@ -1855,6 +2021,243 @@ impl Engine {
             self.reclaim_member(now, node, req);
         }
         self.maybe_release_barrier(now);
+    }
+
+    // ----- membership: detection, epochs, live re-packing ----------------
+
+    /// Dead physical nodes that are still *inside* the committed packing
+    /// (crashed after the repair, not yet confirmed), as repacked slots —
+    /// the route-around set for the repaired grid.
+    fn dead_slots(&self, p: &SurvivorPacking) -> Vec<NodeId> {
+        self.dead.iter().filter_map(|&d| p.slot_of(d)).collect()
+    }
+
+    /// First-hop decision from `src` towards `dest` under the current
+    /// membership view (the committed survivor packing when one exists,
+    /// the original topology otherwise). Returns the decision plus whether
+    /// it deviated from the healthy LDF hop (a reroute).
+    fn first_hop(&self, src: NodeId, dest: NodeId) -> (HopDecision, bool) {
+        if let Some(p) = &self.membership.packing {
+            let (Some(s), Some(d)) = (p.slot_of(src), p.slot_of(dest)) else {
+                return (HopDecision::Unreachable, false);
+            };
+            let dead = self.dead_slots(p);
+            match ldf::next_hop_avoiding(p.grid().shape(), p.num_live(), s, d, &dead) {
+                HopDecision::Hop(h) => {
+                    let rerouted = p.grid().next_hop(s, d) != Some(h);
+                    (HopDecision::Hop(p.node_of(h)), rerouted)
+                }
+                other => (other, false),
+            }
+        } else {
+            match ldf::next_hop_avoiding(
+                &self.shape,
+                self.layout.num_nodes(),
+                src,
+                dest,
+                &self.dead,
+            ) {
+                HopDecision::Hop(h) => {
+                    let rerouted = self.topo.next_hop(src, dest) != Some(h);
+                    (HopDecision::Hop(h), rerouted)
+                }
+                other => (other, false),
+            }
+        }
+    }
+
+    /// Forwarding decision at `node` under the current membership view:
+    /// [`forward_decision`] over the committed survivor packing (physical
+    /// ids mapped through the slot table) when one exists, over the
+    /// original topology otherwise. Returns `(next_phys_node, class,
+    /// rerouted)`.
+    fn fwd_hop(
+        &self,
+        prev: NodeId,
+        node: NodeId,
+        dest: NodeId,
+        base_class: u8,
+    ) -> Option<(NodeId, u8, bool)> {
+        if let Some(p) = &self.membership.packing {
+            let s_node = p.slot_of(node)?;
+            let s_dest = p.slot_of(dest)?;
+            // `prev` outside the packing can only be the origin-here
+            // convention (prev == node); same-epoch forwards always chose
+            // packing members.
+            let s_prev = p.slot_of(prev).unwrap_or(s_node);
+            let dead = self.dead_slots(p);
+            let (h, class) = forward_decision(
+                p.grid().shape(),
+                p.num_live(),
+                s_prev,
+                s_node,
+                s_dest,
+                base_class,
+                &dead,
+            )?;
+            let rerouted = p.grid().next_hop(s_node, s_dest) != Some(h);
+            Some((p.node_of(h), class, rerouted))
+        } else {
+            let (h, class) = forward_decision(
+                &self.shape,
+                self.layout.num_nodes(),
+                prev,
+                node,
+                dest,
+                base_class,
+                &self.dead,
+            )?;
+            Some((h, class, self.topo.next_hop(node, dest) != Some(h)))
+        }
+    }
+
+    /// Records fresh liveness evidence for `node` and updates its
+    /// phi-accrual expectation. No-op with membership off.
+    fn heard_from(&mut self, node: NodeId, now: SimTime) {
+        if !self.membership_on() {
+            return;
+        }
+        let m = &mut self.membership;
+        if m.confirmed.binary_search(&node).is_ok() {
+            return;
+        }
+        let idx = node as usize;
+        let interval = (now - m.last_heard[idx]).as_nanos() as f64;
+        m.mean_interval_ns[idx] = 0.8 * m.mean_interval_ns[idx] + 0.2 * interval;
+        m.last_heard[idx] = now;
+        m.suspected[idx] = false;
+    }
+
+    /// The failure detector's periodic sweep: probe silent peers, accrue
+    /// suspicion against the expected evidence interval, and confirm
+    /// crashes (scheduling an epoch commit after the drain window).
+    fn membership_tick(&mut self, now: SimTime) {
+        if self.finished_count() >= self.cfg.n_procs {
+            return; // Quiescent: stop ticking so the run can end.
+        }
+        let n_nodes = self.layout.num_nodes();
+        let period = self.cfg.membership.heartbeat_period;
+        for node in 0..n_nodes {
+            if self.membership.confirmed.binary_search(&node).is_ok() {
+                continue;
+            }
+            let idx = node as usize;
+            let elapsed = now - self.membership.last_heard[idx];
+            if elapsed < period {
+                continue;
+            }
+            // Idle-probe fallback: the lowest-id other unconfirmed node
+            // pings the silent peer; a live peer's ack restores its
+            // evidence stream. Probes are real droppable messages.
+            let prober = (0..n_nodes)
+                .find(|&p| p != node && self.membership.confirmed.binary_search(&p).is_err());
+            if let Some(prober) = prober {
+                self.membership.stats.probes += 1;
+                if let SendOutcome::Delivered(d) =
+                    self.net.send_probe(now, prober, node, PROBE_BYTES)
+                {
+                    self.queue
+                        .schedule(d.at, Event::ProbeArrive { node, prober });
+                }
+            }
+            let expected = self.membership.mean_interval_ns[idx].max(period.as_nanos() as f64);
+            let phi = elapsed.as_nanos() as f64 / expected;
+            if phi >= self.cfg.membership.phi_threshold && !self.membership.suspected[idx] {
+                self.membership.suspected[idx] = true;
+                self.membership.stats.suspicions += 1;
+                if self.net.node_dead(node, now) {
+                    // Confirmation round: indirect probes agree the peer is
+                    // gone. Record it and schedule the repair once the
+                    // drain window elapses.
+                    if let Err(pos) = self.membership.confirmed.binary_search(&node) {
+                        self.membership.confirmed.insert(pos, node);
+                    }
+                    if !self.membership.pending_commit {
+                        self.membership.pending_commit = true;
+                        self.queue
+                            .schedule(now + self.cfg.membership.drain_window, Event::EpochCommit);
+                    }
+                } else {
+                    // Confirmation round exonerated the peer (a SWIM-style
+                    // indirect probe got through): false alarm, reset.
+                    self.membership.stats.false_suspicions += 1;
+                    self.membership.suspected[idx] = false;
+                    self.membership.last_heard[idx] = now;
+                }
+            }
+        }
+        self.queue.schedule(now + period, Event::MembershipTick);
+    }
+
+    /// A heartbeat probe landed: a live node acks it (the ack is the
+    /// detector's evidence); a dead node stays silent.
+    fn probe_arrive(&mut self, now: SimTime, node: NodeId, prober: NodeId) {
+        if self.net.node_dead(node, now) {
+            return;
+        }
+        // Receiving a probe is itself evidence that the prober is alive.
+        self.heard_from(prober, now);
+        if let SendOutcome::Delivered(d) = self.net.send_faulted(now, node, prober, PROBE_BYTES) {
+            self.queue.schedule(d.at, Event::ProbeAck { node });
+        }
+    }
+
+    /// The drain window after a confirmed crash elapsed: recompute the
+    /// lowest-dimension-first packing over the survivors (walking the
+    /// fallback ladder past any rung the installed certifier refuses),
+    /// re-derive the per-node buffer pools, and bump the epoch so stale
+    /// copies routed against the old packing are rejected on arrival.
+    fn epoch_commit(&mut self) {
+        self.membership.pending_commit = false;
+        let n_nodes = self.layout.num_nodes();
+        let dead = self.membership.confirmed.clone();
+        let repacked = match self.membership.certifier {
+            Some(cert) => vt_core::repack_with(self.cfg.topology, n_nodes, &dead, cert),
+            None => vt_core::repack(self.cfg.topology, n_nodes, &dead),
+        };
+        let Ok(packing) = repacked else {
+            // Every rung refused (only possible with a certifier that
+            // rejects even the FCG terminal): keep the previous view — the
+            // retry machinery keeps diagnosing unreachable operations.
+            return;
+        };
+        let new_epoch = self.membership.epoch + 1;
+        // Old-epoch operations still in flight at the commit: they drain
+        // through stale rejection + origin retransmission, not blocking.
+        let mut drained: HashSet<(u32, u64)> = HashSet::new();
+        for r in &self.requests {
+            if r.live
+                && r.epoch < new_epoch
+                && !self.op_done.contains(&(r.origin.0, r.seq))
+                && !matches!(
+                    self.procs[r.origin.idx()].phase,
+                    Phase::Done | Phase::Lost | Phase::Failed
+                )
+            {
+                drained.insert((r.origin.0, r.seq));
+            }
+        }
+        self.membership.epoch = new_epoch;
+        self.membership.stats.epoch_bumps += 1;
+        self.membership.stats.final_epoch = new_epoch;
+        self.membership.stats.fallback_depth = self
+            .membership
+            .stats
+            .fallback_depth
+            .max(packing.fallback_depth());
+        self.membership.stats.drained_requests += drained.len() as u64;
+        // Re-derive the survivors' buffer pools for the repaired grid: the
+        // CHT cache-pressure term now reflects the new edge set.
+        for phys in 0..n_nodes {
+            if let Some(slot) = packing.slot_of(phys) {
+                let pool =
+                    crate::memory::node_memory(&self.cfg, packing.grid(), slot).cht_pool_bytes;
+                let mib = pool as f64 / (1024.0 * 1024.0);
+                self.cht_pool_extra[phys as usize] =
+                    SimTime::from_nanos((mib * self.cfg.cht.cache_ns_per_pool_mib).round() as u64);
+            }
+        }
+        self.membership.packing = Some(packing);
     }
 }
 
@@ -2332,6 +2735,168 @@ mod tests {
         // Rank 0 lost with its node, rank 8 failed: 7 of 9 available.
         let expected = (9.0 - 2.0) / 9.0;
         assert!((report.availability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_repairs_boundary_victim_crash() {
+        // 5x5 MFCG with 23 populated: node 2 is the *sole* escape hop
+        // between (3,0) = node 3 and (2,4) = node 22, so retry and
+        // route-around alone cannot survive its crash (the static
+        // analyzer refuses the configuration — see vt-analyze's
+        // boundary_crash_on_partial_packing_is_refused). With membership
+        // on, the failure detector confirms the crash, an epoch commits a
+        // survivor re-packing, and the deferred operation completes over
+        // the repaired grid.
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 2);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(3) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(22),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.metrics.per_rank[3].ops, 1);
+        assert_eq!(report.credit_leaks, 0);
+        assert_eq!(report.repair.epoch_bumps, 1, "{:?}", report.repair);
+        assert_eq!(report.repair.final_epoch, 1);
+        assert!(report.repair.suspicions >= 1);
+        // MFCG supports 22 nodes as a partial packing: no fallback rung.
+        assert_eq!(report.repair.fallback_depth, 0);
+    }
+
+    #[test]
+    fn membership_off_boundary_victim_crash_still_fails() {
+        // The contrast pin: the same crash without membership exhausts
+        // the retry budget and is diagnosed, exactly as before this
+        // subsystem existed.
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 2);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(3) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(22),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.repair, crate::metrics::RepairStats::default());
+    }
+
+    #[test]
+    fn membership_repairs_cfcg_boundary_victim() {
+        // The CFCG sibling: 4x3x3 with 29 populated, node 24 = (0,0,2)
+        // is the sole in-slice forwarder toward (0,1,2) = node 28.
+        let mut cfg = small_cfg(29, TopologyKind::Cfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 24);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(25) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(28),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.metrics.per_rank[25].ops, 1);
+        assert_eq!(report.credit_leaks, 0);
+        assert!(report.repair.epoch_bumps >= 1, "{:?}", report.repair);
+    }
+
+    #[test]
+    fn stale_epoch_copies_are_rejected_and_replayed_exactly_once() {
+        // A mid-flight crash: traffic is flowing through the victim when
+        // it dies, so old-epoch copies are genuinely in flight across the
+        // commit. The fetch-add chain must still execute exactly once
+        // per op (final counter equals the op count) with zero leaks.
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new().crash_node(SimTime::from_micros(50), 2);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r.0 % 3 == 0 && r != Rank(22) && r != Rank(2) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::fetch_add(Rank(22), 1)),
+                    Action::Op(Op::fetch_add(Rank(22), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.credit_leaks, 0);
+        let issuers = (0..23u32).filter(|r| r % 3 == 0 && *r != 2).count() as i64;
+        assert_eq!(report.fetch_finals[22], issuers * 2);
+        assert_eq!(report.repair.final_epoch, 1);
+    }
+
+    #[test]
+    fn membership_with_empty_plan_is_byte_identical() {
+        // Enabling membership without any scheduled fault must not
+        // change a single event: the detector is gated on faults_on().
+        let mk = |r: Rank| -> Box<dyn Program> {
+            Box::new(ScriptProgram::new(vec![
+                Action::Op(Op::put_v(Rank((r.0 + 3) % 16), 4, 768)),
+                Action::Barrier,
+                Action::Op(Op::fetch_add(Rank(0), 1)),
+            ]))
+        };
+        let a = run_all(small_cfg(16, TopologyKind::Cfcg), mk);
+        let mut cfg = small_cfg(16, TopologyKind::Cfcg);
+        cfg.membership = crate::config::MembershipConfig::on();
+        let b = run_all_faulted(cfg, &FaultPlan::default(), mk);
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.net, b.net);
+        assert_eq!(b.repair, crate::metrics::RepairStats::default());
+    }
+
+    #[test]
+    fn repair_certifier_refusal_falls_down_the_ladder() {
+        // A certifier that rejects everything except the FCG terminal
+        // rung forces the repair to fall the whole ladder; the run still
+        // completes, with the depth recorded.
+        fn fcg_only(kind: TopologyKind, _survivors: u32) -> Result<(), String> {
+            if kind == TopologyKind::Fcg {
+                Ok(())
+            } else {
+                Err("synthetic refusal".to_string())
+            }
+        }
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new().crash_node(SimTime::ZERO, 2);
+        let programs: Vec<Box<dyn Program>> = (0..23)
+            .map(|r| {
+                Box::new(ScriptProgram::new(if r == 3 {
+                    vec![Action::Op(Op::fetch_add(Rank(22), 1))]
+                } else {
+                    vec![]
+                })) as Box<dyn Program>
+            })
+            .collect();
+        let mut engine = Engine::with_faults(cfg, programs, &plan);
+        engine.set_repair_certifier(fcg_only);
+        let report = engine.run().unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.metrics.per_rank[3].ops, 1);
+        // Mfcg -> Fcg is one rung down the ladder.
+        assert_eq!(report.repair.fallback_depth, 1, "{:?}", report.repair);
     }
 
     #[test]

@@ -66,12 +66,12 @@ pub mod sim;
 pub mod trace;
 pub mod workload;
 
-pub use config::{ChtConfig, CoalesceConfig, RetryConfig, RuntimeConfig};
-pub use engine::{forward_decision, Report, SimError};
+pub use config::{ChtConfig, CoalesceConfig, MembershipConfig, RetryConfig, RuntimeConfig};
+pub use engine::{forward_decision, RepairCertifier, Report, SimError};
 pub use ids::{NodeId, Rank, Sender};
 pub use layout::Layout;
 pub use memory::{node_memory, NodeMemory};
-pub use metrics::{CoalesceStats, FaultStats, Metrics, OpRecord, RankStats};
+pub use metrics::{CoalesceStats, FaultStats, Metrics, OpRecord, RankStats, RepairStats};
 pub use ops::{Op, OpKind};
 pub use sim::Simulation;
 pub use workload::{Action, ClosureProgram, IdleProgram, ProcCtx, Program, ScriptProgram};

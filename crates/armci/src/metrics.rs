@@ -59,6 +59,31 @@ pub struct FaultStats {
     pub failed_ops: u64,
 }
 
+/// Membership / live-repair activity counters. All zero when membership is
+/// off (or the run is fault-free).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RepairStats {
+    /// Nodes whose accrued suspicion crossed the phi threshold.
+    pub suspicions: u64,
+    /// Suspicions that turned out to be false alarms (the node produced
+    /// fresh liveness evidence during confirmation).
+    pub false_suspicions: u64,
+    /// Membership epochs committed (confirmed crashes repaired).
+    pub epoch_bumps: u64,
+    /// Old-epoch requests still in flight when an epoch committed.
+    pub drained_requests: u64,
+    /// Stale-epoch request copies rejected after a commit (each is replayed
+    /// by its origin's retransmission timer under the new epoch).
+    pub replayed_requests: u64,
+    /// Idle heartbeat probes sent by the failure detector.
+    pub probes: u64,
+    /// How many rungs below the original topology kind the deepest repair
+    /// had to fall on the dimension ladder (0 = same kind re-packed).
+    pub fallback_depth: u32,
+    /// The membership epoch the run finished in (0 = no repairs).
+    pub final_epoch: u64,
+}
+
 /// Request-coalescing activity counters. All zero when coalescing is off.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoalesceStats {

@@ -82,6 +82,14 @@ impl Simulation {
         self.engine.topology()
     }
 
+    /// Installs a certifier consulted before each membership repair commits
+    /// a survivor packing (see [`Engine::set_repair_certifier`]). Builder
+    /// style so it chains onto [`Simulation::with_faults`].
+    pub fn with_repair_certifier(mut self, certifier: crate::engine::RepairCertifier) -> Self {
+        self.engine.set_repair_certifier(certifier);
+        self
+    }
+
     /// Runs the job to completion.
     ///
     /// # Errors

@@ -121,6 +121,7 @@ impl fmt::Display for Coord {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -52,6 +52,7 @@ pub fn tree_dot(topo: &dyn VirtualTopology, root: NodeId) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::topology::TopologyKind;

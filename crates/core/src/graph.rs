@@ -136,6 +136,9 @@ impl DiGraph {
                     match colour[succ as usize] {
                         Colour::Grey => {
                             // The grey stack from `succ` to the top is the cycle.
+                            // Invariant: a grey vertex is by definition on
+                            // the DFS stack, so the position always exists.
+                            #[allow(clippy::expect_used)]
                             let from = stack
                                 .iter()
                                 .position(|&(u, _)| u == succ)
@@ -375,6 +378,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::topology::{Cfcg, Mfcg, TopologyKind, VirtualTopology};

@@ -289,6 +289,7 @@ pub fn hop_count(shape: &Shape, n: u32, src: u32, dest: u32) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -40,11 +40,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod coords;
 pub mod dot;
 pub mod graph;
 pub mod ldf;
 pub mod memory;
+pub mod repack;
 pub mod shape;
 pub mod stats;
 pub mod topology;
@@ -54,6 +56,7 @@ pub use coords::{Coord, MAX_DIMS};
 pub use dot::{topology_dot, tree_dot};
 pub use graph::{DependencyGraph, DiGraph};
 pub use memory::MemoryModel;
+pub use repack::{fallback_ladder, repack, repack_with, RepackError, SurvivorPacking};
 pub use shape::Shape;
 pub use stats::{analyze, TopologyStats};
 pub use topology::{

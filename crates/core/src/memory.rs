@@ -89,6 +89,7 @@ pub fn to_mib(bytes: u64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::topology::{Cfcg, Fcg, Hypercube, Mfcg};

@@ -35,9 +35,10 @@ impl Shape {
         );
         let mut cap: u64 = 1;
         for &d in &dims {
-            cap = cap
-                .checked_mul(u64::from(d))
-                .expect("shape capacity overflows u64");
+            cap = match cap.checked_mul(u64::from(d)) {
+                Some(c) => c,
+                None => panic!("shape {dims:?} capacity overflows u64"),
+            };
         }
         Shape { dims }
     }
@@ -230,6 +231,7 @@ fn ceil_cbrt(n: u32) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

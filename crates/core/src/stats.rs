@@ -69,6 +69,7 @@ pub fn analyze(topo: &dyn VirtualTopology) -> TopologyStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::topology::TopologyKind;

@@ -186,7 +186,8 @@ impl Grid {
     /// # Panics
     /// Panics unless `1 <= k <= MAX_DIMS`.
     pub fn kfcg(k: u32, n: u32) -> Self {
-        let k = usize::try_from(k).expect("k fits usize");
+        // Out-of-range `k` saturates and trips `balanced_for`'s range assert.
+        let k = usize::try_from(k).unwrap_or(usize::MAX);
         Grid::new(TopologyKind::KFcg(k as u8), Shape::balanced_for(n, k), n)
     }
 
@@ -432,6 +433,7 @@ impl Hypercube {
 delegate_topology!(Hypercube);
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -34,6 +34,9 @@ impl RequestTree {
             if v == root {
                 continue;
             }
+            // Invariant: every VirtualTopology is connected under LDF, so a
+            // non-root node always has a first hop towards the root.
+            #[allow(clippy::expect_used)]
             let first = topo
                 .next_hop(v, root)
                 .expect("non-root node must have a hop towards the root");
@@ -121,6 +124,7 @@ fn hops_from(topo: &dyn VirtualTopology, mut cur: NodeId, root: NodeId) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::topology::{Cfcg, Fcg, Hypercube, Mfcg, TopologyKind};

@@ -157,6 +157,13 @@ impl FaultPlan {
         nodes
     }
 
+    /// True when the plan kills at least one node permanently — the class
+    /// of fault that only membership repair (not retry/route-around) can
+    /// survive when the victim is escape-critical.
+    pub fn has_permanent_crashes(&self) -> bool {
+        !self.node_crashes.is_empty()
+    }
+
     /// The crash instant of `node`, if the plan kills it.
     pub fn crash_time(&self, node: u32) -> Option<SimTime> {
         self.node_crashes

@@ -63,6 +63,10 @@ pub struct NetCounters {
     pub envelopes: u64,
     /// Member requests carried inside envelopes (attempted).
     pub coalesced_requests: u64,
+    /// Failure-detector heartbeat probes sent (attempted; each is also
+    /// counted once in `messages`). Zero unless the runtime's membership
+    /// layer is enabled.
+    pub probes: u64,
 }
 
 /// Interpreted fault state: per-node crash instants plus transient-loss
@@ -522,6 +526,17 @@ impl Network {
             stream_miss,
             hops,
         })
+    }
+
+    /// Sends a failure-detector heartbeat probe under the installed fault
+    /// plan: exactly [`Network::send_faulted`], plus the probe traffic
+    /// counter. Probes are ordinary wire messages — they can be lost to
+    /// dead endpoints, downed links and transient-loss windows like any
+    /// other traffic, which is what makes a silent peer genuinely
+    /// ambiguous to the detector.
+    pub fn send_probe(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> SendOutcome {
+        self.counters.probes += 1;
+        self.send_faulted(now, src, dst, bytes)
     }
 
     /// Aggregate traffic counters.

@@ -11,6 +11,7 @@ use vt_apps::gups::GupsConfig;
 use vt_apps::lu::LuConfig;
 use vt_apps::nwchem_ccsd::CcsdConfig;
 use vt_apps::nwchem_dft::DftConfig;
+use vt_apps::repair::{RepairOutcome, RepairScenarioConfig};
 use vt_apps::Table;
 use vt_armci::{CoalesceConfig, OpKind};
 use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind, VirtualTopology};
@@ -151,7 +152,17 @@ pub fn usage() -> String {
        ccsd        --cores N [--topology K]                      Fig. 9b\n\
        gups        --procs N [--topology K] [--skew 0.0]         UPC-style\n\
        faults      --topology K [--procs 256] [--ppn 4] [--ops 8]\n\
-                   [--kill-at-us 300]   forwarder-kill resilience experiment\n\
+                   [--kill-at-us 300] [--membership on|off]\n\
+                   forwarder-kill resilience experiment (membership adds\n\
+                   failure detection + live epoch re-packing)\n\
+       repair      [--topology K --nodes N --victim V] [--ppn 2] [--ops 4]\n\
+                   [--kill-at-us 50] [--format human|json]\n\
+                   membership-repair experiment: crash an escape-critical\n\
+                   boundary node the static analyzer refuses (defaults run\n\
+                   both pins: mfcg/23 node 2 and cfcg/29 node 24) and\n\
+                   complete the workload via epoch re-packing; exits\n\
+                   non-zero unless every run completes with zero credit\n\
+                   leaks and a certified post-repair topology\n\
      \n\
      Topologies: fcg mfcg cfcg hypercube kfcgN. Scenarios: none 11 20 1/N.\n"
         .to_string()
@@ -439,12 +450,22 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
             let ppn: u32 = flags.take("ppn", 4)?;
             let ops_per_rank: u32 = flags.take("ops", 8)?;
             let kill_at_us: u64 = flags.take("kill-at-us", 300)?;
+            let membership = match flags.take("membership", "off".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(format!(
+                        "invalid value for --membership: '{other}' (on|off)"
+                    ))
+                }
+            };
             flags.finish()?;
             let cfg = FaultScenarioConfig {
                 n_procs,
                 ppn,
                 ops_per_rank,
                 kill_at: vt_armci::SimTime::from_micros(kill_at_us),
+                membership,
                 ..FaultScenarioConfig::paper(topology)
             };
             if !topology.supports(cfg.num_nodes()) {
@@ -455,7 +476,7 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 ));
             }
             let o = vt_apps::faults::run(&cfg);
-            format!(
+            let mut out = format!(
                 "forwarder kill on {} ({} procs, node{} dead at {} us):\n\
                  healthy {:.1} us -> faulted {:.1} us ({:.2}x), availability {:.3}\n\
                  {} lost ranks, {} failed ops, {} completed ops\n\
@@ -475,7 +496,92 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 o.reroutes,
                 o.reclaims,
                 o.dedup_hits,
-            )
+            );
+            if membership {
+                out.push_str(&render_repair_stats(&o.repair));
+            }
+            out
+        }
+        "repair" => {
+            let format = flags.take("format", "human".to_string())?;
+            if format != "human" && format != "json" {
+                return Err(format!(
+                    "invalid value for --format: '{format}' (human|json)"
+                ));
+            }
+            let custom = flags.map.contains_key("topology")
+                || flags.map.contains_key("nodes")
+                || flags.map.contains_key("victim");
+            let scenarios: Vec<RepairScenarioConfig> = if custom {
+                let topology = flags.take_topology(TopologyKind::Mfcg)?;
+                let base = match topology {
+                    TopologyKind::Cfcg => RepairScenarioConfig::cfcg_boundary(),
+                    _ => RepairScenarioConfig::mfcg_boundary(),
+                };
+                let nodes: u32 = flags.take("nodes", base.nodes)?;
+                let victim: u32 = flags.take("victim", base.victim)?;
+                let ppn: u32 = flags.take("ppn", base.ppn)?;
+                let ops: u32 = flags.take("ops", base.ops_per_rank)?;
+                let kill_at_us: u64 = flags.take("kill-at-us", 50)?;
+                if !topology.supports(nodes) {
+                    return Err(format!(
+                        "{} does not support {nodes} nodes",
+                        topology.name()
+                    ));
+                }
+                if victim >= nodes {
+                    return Err(format!("victim {victim} outside 0..{nodes}"));
+                }
+                vec![RepairScenarioConfig {
+                    topology,
+                    nodes,
+                    ppn,
+                    ops_per_rank: ops,
+                    victim,
+                    kill_at: vt_armci::SimTime::from_micros(kill_at_us),
+                    ..base
+                }]
+            } else {
+                let ppn: u32 = flags.take("ppn", 2)?;
+                let ops: u32 = flags.take("ops", 4)?;
+                let kill_at_us: u64 = flags.take("kill-at-us", 50)?;
+                [
+                    RepairScenarioConfig::mfcg_boundary(),
+                    RepairScenarioConfig::cfcg_boundary(),
+                ]
+                .into_iter()
+                .map(|base| RepairScenarioConfig {
+                    ppn,
+                    ops_per_rank: ops,
+                    kill_at: vt_armci::SimTime::from_micros(kill_at_us),
+                    ..base
+                })
+                .collect()
+            };
+            flags.finish()?;
+            let mut out = String::new();
+            let mut cells = Vec::new();
+            let mut all_ok = true;
+            for cfg in &scenarios {
+                let o = vt_apps::repair::run(cfg);
+                let ok = o.completed && o.credit_leaks == 0 && o.post_repair_certified;
+                all_ok &= ok;
+                if format == "json" {
+                    cells.push(repair_json(cfg, &o));
+                } else {
+                    out.push_str(&render_repair_outcome(cfg, &o));
+                }
+            }
+            if format == "json" {
+                out = format!(
+                    "{{\"all_repaired\":{all_ok},\"scenarios\":[{}]}}\n",
+                    cells.join(",")
+                );
+            }
+            if !all_ok {
+                return Err(format!("repair experiment FAILED\n{out}"));
+            }
+            out
         }
         "help" | "--help" | "-h" => usage(),
         other => return Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -499,6 +605,97 @@ fn crash_victim(kind: TopologyKind, nodes: u32) -> Option<u32> {
         Some(h) if h != 0 && h != nodes - 1 => Some(h),
         _ => Some(1),
     }
+}
+
+/// One human-readable line of membership/repair activity counters.
+fn render_repair_stats(r: &vt_armci::RepairStats) -> String {
+    format!(
+        "membership repair: {} suspicions ({} false), {} epoch bumps, \
+         {} drained, {} replayed, {} probes, fallback depth {}, final epoch {}\n",
+        r.suspicions,
+        r.false_suspicions,
+        r.epoch_bumps,
+        r.drained_requests,
+        r.replayed_requests,
+        r.probes,
+        r.fallback_depth,
+        r.final_epoch,
+    )
+}
+
+/// Human rendering of one membership-repair scenario outcome.
+fn render_repair_outcome(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
+    let mut s = format!(
+        "repair {} n={} victim node{} ({} procs):\n\
+         static analyzer: {}\n\
+         membership run: {} in {:.1} us, availability {:.3}, \
+         {} completed ops, {} failed, {} credit leaks, {} retries\n",
+        cfg.topology.name(),
+        cfg.nodes,
+        o.victim,
+        cfg.n_procs(),
+        if o.static_refusal {
+            "REFUSES crashed packing (pin holds)"
+        } else {
+            "accepts crashed packing"
+        },
+        if o.completed { "COMPLETED" } else { "FAILED" },
+        o.exec_seconds * 1e6,
+        o.availability,
+        o.completed_ops,
+        o.failed_ops,
+        o.credit_leaks,
+        o.retries,
+    );
+    s.push_str(&render_repair_stats(&o.repair));
+    s.push_str(&format!(
+        "post-repair topology: {} over {} survivors, {}\n\n",
+        o.post_repair_kind.name(),
+        cfg.nodes - 1,
+        if o.post_repair_certified {
+            "CERTIFIED"
+        } else {
+            "NOT CERTIFIED"
+        },
+    ));
+    s
+}
+
+/// Hand-rolled JSON cell for one membership-repair scenario outcome.
+fn repair_json(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
+    let r = &o.repair;
+    format!(
+        "{{\"topology\":\"{}\",\"nodes\":{},\"victim\":{},\"static_refusal\":{},\
+         \"completed\":{},\"exec_seconds\":{:.9},\"availability\":{:.6},\
+         \"completed_ops\":{},\"failed_ops\":{},\"credit_leaks\":{},\
+         \"lost_ranks\":{},\"retries\":{},\
+         \"post_repair_kind\":\"{}\",\"post_repair_certified\":{},\
+         \"repair\":{{\"suspicions\":{},\"false_suspicions\":{},\
+         \"epoch_bumps\":{},\"drained_requests\":{},\"replayed_requests\":{},\
+         \"probes\":{},\"fallback_depth\":{},\"final_epoch\":{}}}}}",
+        cfg.topology.name(),
+        cfg.nodes,
+        o.victim,
+        o.static_refusal,
+        o.completed,
+        o.exec_seconds,
+        o.availability,
+        o.completed_ops,
+        o.failed_ops,
+        o.credit_leaks,
+        o.lost_ranks,
+        o.retries,
+        o.post_repair_kind.name(),
+        o.post_repair_certified,
+        r.suspicions,
+        r.false_suspicions,
+        r.epoch_bumps,
+        r.drained_requests,
+        r.replayed_requests,
+        r.probes,
+        r.fallback_depth,
+        r.final_epoch,
+    )
 }
 
 /// The CI verification matrix: every topology at representative sizes —
@@ -780,6 +977,75 @@ mod tests {
         assert!(out.contains("forwarder kill on mfcg"), "{out}");
         assert!(out.contains("reroutes"), "{out}");
         assert!(out.contains("availability 0.938"), "{out}");
+        // Membership off: no repair line in the output.
+        assert!(!out.contains("membership repair"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_with_membership_reports_repair_counters() {
+        let out = run_command(
+            "faults",
+            &s(&[
+                "--topology",
+                "mfcg",
+                "--procs",
+                "64",
+                "--ops",
+                "80",
+                "--kill-at-us",
+                "40",
+                "--membership",
+                "on",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("membership repair:"), "{out}");
+        assert!(out.contains("epoch bumps"), "{out}");
+        assert!(run_command("faults", &s(&["--membership", "maybe"]))
+            .unwrap_err()
+            .contains("--membership"),);
+    }
+
+    #[test]
+    fn repair_command_runs_boundary_defaults() {
+        let out = run_command("repair", &[]).unwrap();
+        assert!(out.contains("repair mfcg n=23 victim node2"), "{out}");
+        assert!(out.contains("repair cfcg n=29 victim node24"), "{out}");
+        assert!(out.contains("REFUSES crashed packing"), "{out}");
+        assert!(out.contains("COMPLETED"), "{out}");
+        assert!(out.contains("CERTIFIED"), "{out}");
+        assert!(out.contains("0 credit leaks"), "{out}");
+    }
+
+    #[test]
+    fn repair_command_emits_json_and_accepts_custom_scenario() {
+        let out = run_command(
+            "repair",
+            &s(&[
+                "--topology",
+                "mfcg",
+                "--nodes",
+                "23",
+                "--victim",
+                "2",
+                "--format",
+                "json",
+            ]),
+        )
+        .unwrap();
+        assert!(out.starts_with("{\"all_repaired\":true"), "{out}");
+        assert!(out.contains("\"static_refusal\":true"), "{out}");
+        assert!(out.contains("\"post_repair_certified\":true"), "{out}");
+        assert!(out.contains("\"epoch_bumps\":1"), "{out}");
+        // Bad flags are rejected up front.
+        assert!(run_command("repair", &s(&["--format", "xml"]))
+            .unwrap_err()
+            .contains("--format"));
+        assert!(
+            run_command("repair", &s(&["--nodes", "23", "--victim", "99"]))
+                .unwrap_err()
+                .contains("victim")
+        );
     }
 
     #[test]

@@ -23,6 +23,67 @@ fn golden_path(name: &str) -> PathBuf {
         .join(name)
 }
 
+/// Whether this process was asked to run the figure pipelines with
+/// membership repair enabled (`VT_GOLDEN_MEMBERSHIP=1`). The figures are
+/// fault-free, so membership changes no number — but it *is* a different
+/// protocol configuration, and the regen guard below refuses to let its
+/// output overwrite the membership-disabled baselines.
+fn membership_requested() -> bool {
+    std::env::var_os("VT_GOLDEN_MEMBERSHIP").is_some_and(|v| v != "0")
+}
+
+/// The membership override the figure pipelines run under (see
+/// [`membership_requested`]).
+fn figure_membership() -> Option<vt_armci::MembershipConfig> {
+    membership_requested().then(vt_armci::MembershipConfig::on)
+}
+
+/// FNV-1a hash of the canonical figure-configuration descriptor. Stamped
+/// into every golden header so a snapshot records which protocol
+/// configuration produced it.
+fn config_stamp() -> String {
+    let descriptor = format!(
+        "procs=64 ppn=4 iterations=4 stride=8 seed=0xF166 coalescing=off \
+         faults=off membership={}",
+        if membership_requested() { "on" } else { "off" }
+    );
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in descriptor.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The header line stamped as the first line of every golden snapshot.
+fn stamp_header(stamp: &str) -> String {
+    format!("# config {stamp}\n")
+}
+
+/// The regeneration guard: overwriting an existing snapshot is allowed
+/// only when the snapshot's stamped configuration matches the one this
+/// process is about to bake in. A missing file or a legacy file without a
+/// stamp is fair game (first stamping); a mismatched stamp is refused so
+/// e.g. a membership-enabled run cannot silently replace the
+/// membership-disabled baselines.
+///
+/// # Errors
+/// Returns the refusal message when `existing` carries a different stamp.
+fn regen_guard(existing: Option<&str>, stamp: &str) -> Result<(), String> {
+    let Some(first) = existing.and_then(|s| s.lines().next()) else {
+        return Ok(());
+    };
+    match first.strip_prefix("# config ") {
+        Some(old) if old != stamp => Err(format!(
+            "refusing to overwrite golden snapshot: it was generated under \
+             config {old}, but this run is config {stamp} (e.g. membership \
+             enabled vs. the committed membership-disabled baseline); \
+             rerun the regeneration under the baseline configuration"
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Regenerating a snapshot bakes the current model's numbers into the
 /// repository, so refuse outright when `vt-analyze` will not certify the
 /// figure configurations (16 nodes x 4 ppn, coalescing off, fault-free,
@@ -44,8 +105,14 @@ fn assert_figure_configs_certified() {
 /// snapshot when `VT_UPDATE_GOLDEN` is set.
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
+    let stamp = config_stamp();
+    let actual = format!("{}{}", stamp_header(&stamp), actual);
     if std::env::var_os("VT_UPDATE_GOLDEN").is_some() {
         assert_figure_configs_certified();
+        let existing = std::fs::read_to_string(&path).ok();
+        if let Err(refusal) = regen_guard(existing.as_deref(), &stamp) {
+            panic!("{refusal}");
+        }
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, actual).unwrap();
         return;
@@ -131,6 +198,7 @@ fn contention_figure(title: &str, op: OpSpec) -> String {
             n_procs: 64,
             measure_stride: 8,
             iterations: 4,
+            membership: figure_membership(),
             ..ContentionConfig::paper(topology, op, scenario)
         };
         let o = run(&cfg);
@@ -163,4 +231,51 @@ fn fig7_fetch_add_matches_golden() {
         "fig7_fetch_add.txt",
         &contention_figure("Fig. 7 (scaled): fetch-&-add", OpSpec::fetch_add()),
     );
+}
+
+// ---- Regeneration guard --------------------------------------------------
+
+#[test]
+fn regen_guard_refuses_mismatched_config_stamps() {
+    let stamp = config_stamp();
+    // Fresh file / legacy unstamped file: regeneration is allowed.
+    assert!(regen_guard(None, &stamp).is_ok());
+    assert!(regen_guard(Some("# Fig. 5 (scaled): legacy header\n"), &stamp).is_ok());
+    // Same stamp: allowed.
+    let same = format!("{}# Fig. 5 ...\n", stamp_header(&stamp));
+    assert!(regen_guard(Some(&same), &stamp).is_ok());
+    // Different stamp — e.g. the committed membership-disabled baseline
+    // against a membership-enabled regeneration run: refused.
+    let other = "# config 0123456789abcdef\n# Fig. 5 ...\n";
+    let refusal = regen_guard(Some(other), &stamp).unwrap_err();
+    assert!(refusal.contains("refusing to overwrite"), "{refusal}");
+    assert!(refusal.contains(&stamp), "{refusal}");
+}
+
+#[test]
+fn committed_baselines_carry_the_membership_disabled_stamp() {
+    // The committed snapshots must be regenerable under the baseline
+    // (membership-off) configuration — i.e. their stamped header matches
+    // what a default regeneration run would stamp. During a regeneration
+    // run the snapshots are being rewritten concurrently, so the check
+    // only applies to the committed state.
+    if std::env::var_os("VT_UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    assert!(
+        !membership_requested(),
+        "golden comparison tests assume the baseline configuration"
+    );
+    for name in [
+        "fig5_memory.txt",
+        "fig6_vector_ops.txt",
+        "fig7_fetch_add.txt",
+    ] {
+        let content = std::fs::read_to_string(golden_path(name)).unwrap();
+        assert!(
+            content.starts_with(&stamp_header(&config_stamp())),
+            "{name} is not stamped with the baseline config"
+        );
+        assert!(regen_guard(Some(&content), &config_stamp()).is_ok());
+    }
 }

@@ -1,0 +1,178 @@
+//! Property-based tests of survivor re-packing: for random populations and
+//! random crash sets, `repack` must be deterministic (and independent of
+//! the order the crashes were reported in), produce a dense bijective slot
+//! map in ascending physical order, bound its fall down the dimension
+//! ladder, and yield a grid whose LDF routing is total and depth-bounded
+//! over every live pair — plus `vt-analyze` must certify the repaired
+//! topology (acyclic dependency graph) exactly as the live repair path
+//! does.
+//!
+//! A regression pair pins the PR's headline behaviour: the MFCG/23
+//! boundary-victim crash (node 2, escape-critical) is still *refused* by
+//! the static analyzer, yet completes under membership repair.
+
+use proptest::prelude::*;
+use vt_core::{fallback_ladder, repack, repack_with, TopologyKind, VirtualTopology};
+
+/// One random repack scenario: a population, a crash set, and the original
+/// topology kind.
+#[derive(Clone, Debug)]
+struct RepackSpec {
+    kind: TopologyKind,
+    n_total: u32,
+    dead: Vec<u32>,
+}
+
+/// Derives a crash set from a seed: each node dies with probability
+/// `frac/100`, but at least one survivor is always kept (the shim has no
+/// collection strategies, so the subset is expanded from the seed by a
+/// splitmix step per node).
+fn crash_set(n_total: u32, seed: u64, frac: u32) -> Vec<u32> {
+    let mut dead = Vec::new();
+    let mut s = seed;
+    for node in 0..n_total {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (s >> 33) % 100 < u64::from(frac) {
+            dead.push(node);
+        }
+    }
+    if dead.len() as u32 == n_total {
+        dead.pop();
+    }
+    dead
+}
+
+fn spec_strategy() -> impl Strategy<Value = RepackSpec> {
+    (
+        prop_oneof![
+            Just(TopologyKind::Fcg),
+            Just(TopologyKind::Mfcg),
+            Just(TopologyKind::Cfcg),
+            Just(TopologyKind::Hypercube),
+            Just(TopologyKind::KFcg(3)),
+        ],
+        2u32..=64,
+        any::<u64>(),
+        0u32..60,
+    )
+        .prop_map(|(kind, n_total, seed, frac)| RepackSpec {
+            kind,
+            n_total,
+            dead: crash_set(n_total, seed, frac),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Re-packing is deterministic and independent of the order the dead
+    /// set was reported in, and the slot map is a dense bijection over the
+    /// survivors in ascending physical order.
+    #[test]
+    fn repack_is_deterministic_and_order_independent(spec in spec_strategy()) {
+        let a = repack(spec.kind, spec.n_total, &spec.dead).unwrap();
+        let mut reversed = spec.dead.clone();
+        reversed.reverse();
+        // Duplicate reports must not change the outcome either.
+        let mut doubled = reversed.clone();
+        doubled.extend_from_slice(&spec.dead);
+        let b = repack(spec.kind, spec.n_total, &doubled).unwrap();
+        prop_assert_eq!(a.kind(), b.kind());
+        prop_assert_eq!(a.fallback_depth(), b.fallback_depth());
+        prop_assert_eq!(a.num_live(), b.num_live());
+        prop_assert_eq!(
+            a.num_live() as usize,
+            spec.n_total as usize - {
+                let mut d = spec.dead.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.len()
+            }
+        );
+        let mut prev: Option<u32> = None;
+        for slot in 0..a.num_live() {
+            let node = a.node_of(slot);
+            prop_assert_eq!(b.node_of(slot), node);
+            prop_assert_eq!(a.slot_of(node), Some(slot));
+            prop_assert!(!spec.dead.contains(&node));
+            // Ascending physical order => dense LDF renumbering.
+            prop_assert!(prev.is_none_or(|p| p < node));
+            prev = Some(node);
+        }
+        for &d in &spec.dead {
+            prop_assert_eq!(a.slot_of(d), None);
+        }
+    }
+
+    /// The committed rung's LDF routing is total and depth-bounded over
+    /// every live pair: each route ends at its destination in at most
+    /// `ndims` hops.
+    #[test]
+    fn repacked_routing_is_total_and_depth_bounded(spec in spec_strategy()) {
+        let p = repack(spec.kind, spec.n_total, &spec.dead).unwrap();
+        let grid = p.grid();
+        let ndims = grid.shape().ndims();
+        for src in 0..p.num_live() {
+            for dst in 0..p.num_live() {
+                let route = grid.route(src, dst);
+                if src == dst {
+                    prop_assert!(route.is_empty());
+                } else {
+                    prop_assert_eq!(route.last().copied(), Some(dst));
+                    prop_assert!(
+                        route.len() <= ndims,
+                        "route {}->{} took {} hops over {:?}",
+                        src, dst, route.len(), grid.shape()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fall down the ladder is bounded by the ladder's length, the
+    /// committed rung really supports the survivor count, and rejecting
+    /// every rung surfaces as an error instead of an uncertified commit.
+    #[test]
+    fn fallback_depth_is_bounded_and_rungs_support_survivors(spec in spec_strategy()) {
+        let ladder = fallback_ladder(spec.kind);
+        let p = repack(spec.kind, spec.n_total, &spec.dead).unwrap();
+        prop_assert!((p.fallback_depth() as usize) < ladder.len());
+        prop_assert_eq!(ladder[p.fallback_depth() as usize], p.kind());
+        prop_assert!(p.kind().supports(p.num_live()));
+        prop_assert_eq!(p.original_kind(), spec.kind);
+        // Every rung above the committed one was genuinely unusable.
+        for rung in &ladder[..p.fallback_depth() as usize] {
+            prop_assert!(!rung.supports(p.num_live()));
+        }
+        prop_assert!(
+            repack_with(spec.kind, spec.n_total, &spec.dead, |_, _| Err("no".into())).is_err()
+        );
+    }
+
+    /// Every survivor packing the built-in ladder commits is certified by
+    /// `vt-analyze` — acyclic dependency graph, total routing — exactly as
+    /// the engine's live repair certifier demands.
+    #[test]
+    fn repacked_topologies_are_certified_by_the_analyzer(spec in spec_strategy()) {
+        let p = repack_with(spec.kind, spec.n_total, &spec.dead, vt_analyze::certify_repair)
+            .unwrap();
+        prop_assert!(vt_analyze::certify_repair(p.kind(), p.num_live()).is_ok());
+    }
+}
+
+/// The PR's headline regression, pinned both ways: the static analyzer
+/// still refuses the escape-critical MFCG/23 node-2 crash (PR 3's pin),
+/// while the same crash under membership repair completes every surviving
+/// rank with zero credit leaks and a certified post-repair topology.
+#[test]
+fn mfcg_boundary_victim_static_refusal_and_live_repair_coexist() {
+    let cfg = vt_apps::RepairScenarioConfig::mfcg_boundary();
+    let o = vt_apps::repair::run(&cfg);
+    assert!(o.static_refusal, "PR 3 static pin must keep holding: {o:?}");
+    assert!(o.completed, "{o:?}");
+    assert_eq!(o.credit_leaks, 0, "{o:?}");
+    assert!(o.post_repair_certified, "{o:?}");
+    assert!(o.repair.epoch_bumps >= 1, "{o:?}");
+}
