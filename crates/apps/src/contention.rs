@@ -332,7 +332,7 @@ impl Program for ContentionProgram {
             if self.sched.measured[self.phase] == self.rank && self.lat_count > 0 {
                 self.results
                     .lock()
-                    .expect("no panics hold the results lock")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push((self.rank.0, self.lat_sum_us / f64::from(self.lat_count)));
                 self.lat_sum_us = 0.0;
                 self.lat_count = 0;
@@ -348,8 +348,24 @@ impl Program for ContentionProgram {
 /// # Panics
 /// Panics if the configuration is too small to have any measurable rank
 /// (everything on rank 0's node), if the `vt-analyze` pre-flight refuses
-/// to certify it, or if it is otherwise invalid.
+/// to certify it, if the simulation ends abnormally, or if it is
+/// otherwise invalid. [`try_run`] is the non-panicking variant.
 pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("contention run failed: {e}"))
+}
+
+/// Runs the full measurement protocol, surfacing abnormal simulation
+/// endings as a typed error instead of panicking.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the simulation deadlocks or
+/// times out.
+///
+/// # Panics
+/// Still panics on invalid configurations (no measurable rank, or a
+/// pre-flight certification refusal) — those are caller bugs, not runtime
+/// outcomes.
+pub fn try_run(cfg: &ContentionConfig) -> Result<ContentionOutcome, crate::RunError> {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
     rt.seed = cfg.seed;
@@ -408,14 +424,14 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
         lat_sum_us: 0.0,
         lat_count: 0,
     });
-    let report = sim.run().expect("contention run deadlocked");
+    let report = sim.run()?;
 
     let mut points = Arc::try_unwrap(results)
-        .expect("all programs dropped")
+        .map_err(|_| crate::RunError::Harness("a program outlived the simulation".into()))?
         .into_inner()
-        .expect("no panics hold the results lock");
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     points.sort_unstable_by_key(|&(r, _)| r);
-    ContentionOutcome {
+    Ok(ContentionOutcome {
         points,
         finish: report.finish_time,
         stream_misses: report.net.stream_misses,
@@ -424,7 +440,7 @@ pub fn run(cfg: &ContentionConfig) -> ContentionOutcome {
         envelopes: report.cht_totals.envelopes,
         coalesced: report.cht_totals.coalesced,
         messages: report.net.messages,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -161,8 +161,23 @@ fn build(cfg: &FaultScenarioConfig, plan: &FaultPlan) -> Simulation {
 /// Panics if the configuration is invalid for the topology, if the
 /// `vt-analyze` pre-flight refuses to certify the crashed configuration,
 /// or if the simulation deadlocks — the self-healing machinery is
-/// expected to always terminate the run.
+/// expected to always terminate the run. [`try_run`] is the non-panicking
+/// variant.
 pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("fault scenario failed: {e}"))
+}
+
+/// Runs the forwarder-kill scenario, surfacing abnormal simulation
+/// endings as a typed error instead of panicking.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when either the healthy baseline
+/// or the faulted run ends abnormally.
+///
+/// # Panics
+/// Still panics when the `vt-analyze` pre-flight refuses to certify the
+/// crashed configuration — that is a caller bug, not a runtime outcome.
+pub fn try_run(cfg: &FaultScenarioConfig) -> Result<FaultOutcome, crate::RunError> {
     let victim = cfg.victim_node();
     let plan = FaultPlan::new().crash_node(cfg.kill_at, victim);
     // Pre-flight: the crashed configuration must stay certified — the
@@ -177,15 +192,13 @@ pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
             panic!("pre-flight verification failed:\n{report}");
         }
     }
-    let healthy = build(cfg, &FaultPlan::default())
-        .run()
-        .expect("healthy baseline must complete");
+    let healthy = build(cfg, &FaultPlan::default()).run()?;
     let mut faulted = build(cfg, &plan);
     if cfg.membership {
         faulted = faulted.with_repair_certifier(vt_analyze::certify_repair);
     }
-    let report = faulted.run().expect("faulted run must terminate cleanly");
-    FaultOutcome {
+    let report = faulted.run()?;
+    Ok(FaultOutcome {
         exec_seconds: report.finish_time.as_secs_f64(),
         healthy_seconds: healthy.finish_time.as_secs_f64(),
         availability: report.availability(),
@@ -198,7 +211,7 @@ pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
         reclaims: report.faults.reclaims,
         dedup_hits: report.faults.dedup_hits,
         repair: report.repair,
-    }
+    })
 }
 
 #[cfg(test)]

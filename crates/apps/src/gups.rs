@@ -108,7 +108,20 @@ impl Program for GupsProgram {
 }
 
 /// Runs GUPS and reports throughput.
+///
+/// # Panics
+/// Panics if the simulation deadlocks; [`try_run`] is the non-panicking
+/// variant.
 pub fn run(cfg: &GupsConfig) -> GupsOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("GUPS run failed: {e}"))
+}
+
+/// Runs GUPS, surfacing abnormal simulation endings as a typed error.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the simulation deadlocks or
+/// times out.
+pub fn try_run(cfg: &GupsConfig) -> Result<GupsOutcome, crate::RunError> {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
     rt.seed = cfg.seed;
@@ -117,7 +130,7 @@ pub fn run(cfg: &GupsConfig) -> GupsOutcome {
         issued: 0,
         rng_state: cfg.seed ^ (u64::from(rank.0) << 32),
     });
-    let report = sim.run().expect("GUPS must not deadlock");
+    let report = sim.run()?;
     let _ = report.metrics.per_rank.len();
     let updates = u64::from(cfg.n_procs) * u64::from(cfg.updates_per_rank);
     let secs = report.finish_time.as_secs_f64();
@@ -128,7 +141,7 @@ pub fn run(cfg: &GupsConfig) -> GupsOutcome {
         .map(|s| s.latency_us.mean())
         .sum::<f64>()
         / f64::from(cfg.n_procs);
-    GupsOutcome {
+    Ok(GupsOutcome {
         exec_seconds: secs,
         gups: if secs > 0.0 {
             updates as f64 / secs / 1e9
@@ -136,7 +149,7 @@ pub fn run(cfg: &GupsConfig) -> GupsOutcome {
             0.0
         },
         mean_update_us: mean_us,
-    }
+    })
 }
 
 #[cfg(test)]

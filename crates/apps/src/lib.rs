@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod contention;
 pub mod faults;
 pub mod gups;
@@ -44,4 +45,35 @@ pub use nwchem_ccsd::{CcsdConfig, CcsdOutcome};
 pub use nwchem_dft::{DftConfig, DftOutcome};
 pub use repair::{RepairOutcome, RepairScenarioConfig};
 pub use report::{Panel, Series, Table};
-pub use sweep::run_parallel;
+pub use sweep::{grid, run_cells, run_parallel, SweepCell};
+
+/// Error from an experiment driver's fallible entry point (`try_run`).
+///
+/// Every workload module pairs its panicking `run` convenience with a
+/// `try_run` returning this type, so harnesses that must not abort (CI
+/// drivers, the bench loop) can surface failures as data instead.
+#[derive(Debug)]
+pub enum RunError {
+    /// The underlying simulation ended abnormally (deadlock, timeout,
+    /// unreachable destination).
+    Sim(vt_armci::SimError),
+    /// A harness-side invariant failed; the message names it.
+    Harness(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Harness(msg) => write!(f, "harness invariant failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<vt_armci::SimError> for RunError {
+    fn from(e: vt_armci::SimError) -> Self {
+        RunError::Sim(e)
+    }
+}

@@ -251,14 +251,27 @@ impl Program for LuProgram {
 }
 
 /// Runs LU and reports the execution time.
+///
+/// # Panics
+/// Panics if the simulation deadlocks; [`try_run`] is the non-panicking
+/// variant.
 pub fn run(cfg: &LuConfig) -> LuOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("LU run failed: {e}"))
+}
+
+/// Runs LU, surfacing abnormal simulation endings as a typed error.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the simulation deadlocks or
+/// times out.
+pub fn try_run(cfg: &LuConfig) -> Result<LuOutcome, crate::RunError> {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
     rt.seed = cfg.seed;
     let sim = Simulation::build(rt, |rank| LuProgram::new(rank, *cfg));
-    let report = sim.run().expect("LU run deadlocked");
+    let report = sim.run()?;
     let handled = report.cht_totals.serviced + report.cht_totals.forwarded;
-    LuOutcome {
+    Ok(LuOutcome {
         exec_seconds: report.finish_time.as_secs_f64(),
         forward_fraction: if handled == 0 {
             0.0
@@ -266,7 +279,7 @@ pub fn run(cfg: &LuConfig) -> LuOutcome {
             report.cht_totals.forwarded as f64 / handled as f64
         },
         stream_misses: report.net.stream_misses,
-    }
+    })
 }
 
 #[cfg(test)]

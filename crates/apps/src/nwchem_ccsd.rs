@@ -153,7 +153,21 @@ impl Program for CcsdProgram {
 }
 
 /// Runs the CCSD proxy.
+///
+/// # Panics
+/// Panics if the simulation deadlocks; [`try_run`] is the non-panicking
+/// variant.
 pub fn run(cfg: &CcsdConfig) -> CcsdOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("CCSD run failed: {e}"))
+}
+
+/// Runs the CCSD proxy, surfacing abnormal simulation endings as a typed
+/// error.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the simulation deadlocks or
+/// times out.
+pub fn try_run(cfg: &CcsdConfig) -> Result<CcsdOutcome, crate::RunError> {
     let (paging, used) = paging_factor(cfg);
     let grains_per_proc =
         (cfg.serial_seconds / f64::from(cfg.n_procs) / cfg.grain_seconds).ceil() as u64;
@@ -167,12 +181,12 @@ pub fn run(cfg: &CcsdConfig) -> CcsdOutcome {
         computed: false,
         grain_idx: 0,
     });
-    let report = sim.run().expect("CCSD run deadlocked");
-    CcsdOutcome {
+    let report = sim.run()?;
+    Ok(CcsdOutcome {
         exec_seconds: report.finish_time.as_secs_f64(),
         paging_factor: paging,
         node_mem_used: used,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -116,7 +116,12 @@ impl Program for DftProgram {
                     return Action::Op(Op::fetch_add(Rank(0), 1));
                 }
                 St::Fetch => {
-                    self.task = ctx.last_fetch.expect("fetch-&-add must return a value");
+                    self.task = match ctx.last_fetch {
+                        Some(v) => v,
+                        // St::Fetch is only ever entered from St::Grab's
+                        // fetch-&-add, which always deposits a value.
+                        None => unreachable!("St::Fetch follows a fetch-&-add op"),
+                    };
                     if self.task >= i64::from(self.cfg.total_tasks) {
                         self.state = St::Finish;
                         continue;
@@ -148,7 +153,21 @@ impl Program for DftProgram {
 }
 
 /// Runs the DFT proxy.
+///
+/// # Panics
+/// Panics if the simulation deadlocks; [`try_run`] is the non-panicking
+/// variant.
 pub fn run(cfg: &DftConfig) -> DftOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("DFT run failed: {e}"))
+}
+
+/// Runs the DFT proxy, surfacing abnormal simulation endings as a typed
+/// error.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the simulation deadlocks or
+/// times out.
+pub fn try_run(cfg: &DftConfig) -> Result<DftOutcome, crate::RunError> {
     let mut rt = RuntimeConfig::new(cfg.n_procs, cfg.topology);
     rt.procs_per_node = cfg.ppn;
     rt.seed = cfg.seed;
@@ -157,17 +176,17 @@ pub fn run(cfg: &DftConfig) -> DftOutcome {
         state: St::Grab,
         task: 0,
     });
-    let report = sim.run().expect("DFT run deadlocked");
+    let report = sim.run()?;
     // Each executed task completes three ops (fadd + getv + acc); the final
     // over-grab of each rank adds one fadd.
     let total_ops = report.metrics.total_ops();
     let tasks_executed = total_ops.saturating_sub(u64::from(cfg.n_procs)) / 3;
-    DftOutcome {
+    Ok(DftOutcome {
         exec_seconds: report.finish_time.as_secs_f64(),
         tasks_executed,
         stream_misses: report.net.stream_misses,
         forwards: report.cht_totals.forwarded,
-    }
+    })
 }
 
 #[cfg(test)]

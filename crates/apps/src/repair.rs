@@ -162,7 +162,18 @@ fn build(cfg: &RepairScenarioConfig, rt: RuntimeConfig, plan: &FaultPlan) -> Sim
 /// # Panics
 /// Panics if the simulation deadlocks or fails to terminate — the
 /// membership machinery is expected to always repair or diagnose.
+/// [`try_run`] is the non-panicking variant.
 pub fn run(cfg: &RepairScenarioConfig) -> RepairOutcome {
+    try_run(cfg).unwrap_or_else(|e| panic!("repair scenario failed: {e}"))
+}
+
+/// Runs the membership-repair scenario, surfacing abnormal simulation
+/// endings as a typed error.
+///
+/// # Errors
+/// Returns [`RunError`](crate::RunError) when the membership run ends
+/// abnormally.
+pub fn try_run(cfg: &RepairScenarioConfig) -> Result<RepairOutcome, crate::RunError> {
     let plan = FaultPlan::new().crash_node(cfg.kill_at, cfg.victim);
     // The contrast pin: the *static* crashed configuration (membership
     // off) is refused for escape-critical victims. Recorded, not fatal —
@@ -173,8 +184,7 @@ pub fn run(cfg: &RepairScenarioConfig) -> RepairOutcome {
     rt.membership = MembershipConfig::on();
     let report = build(cfg, rt, &plan)
         .with_repair_certifier(vt_analyze::certify_repair)
-        .run()
-        .expect("membership run must terminate cleanly");
+        .run()?;
 
     let repair = report.repair;
     // The rung the repair committed: `fallback_depth` steps down the
@@ -188,7 +198,7 @@ pub fn run(cfg: &RepairScenarioConfig) -> RepairOutcome {
     let post_repair_certified =
         repair.epoch_bumps > 0 && vt_analyze::certify_repair(post_repair_kind, survivors).is_ok();
 
-    RepairOutcome {
+    Ok(RepairOutcome {
         static_refusal,
         completed: report.failures.is_empty() && report.faults.failed_ops == 0,
         exec_seconds: report.finish_time.as_secs_f64(),
@@ -202,7 +212,7 @@ pub fn run(cfg: &RepairScenarioConfig) -> RepairOutcome {
         post_repair_certified,
         repair,
         retries: report.faults.retries,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -5,9 +5,96 @@
 //! [`run_parallel`] fans jobs out over `std::thread::scope` workers while
 //! preserving input order in the results — determinism of each job plus
 //! ordered collection keeps the whole harness reproducible.
+//!
+//! [`SweepCell`] names one point of the standard experiment grid
+//! (topology × population × coalescing × faults) with a deterministic
+//! per-cell seed; [`grid`] enumerates the cross product in a fixed
+//! row-major order so a sweep's output layout never depends on the worker
+//! count. The figure and ablation harnesses, the CI verification matrices,
+//! and `vtsim bench` all fan their cells through this module.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use vt_core::TopologyKind;
+
+/// One point of the standard sweep grid: a topology at a population, with
+/// the two protocol toggles the matrices vary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Virtual topology under test.
+    pub topology: TopologyKind,
+    /// Number of simulated processes.
+    pub n_procs: u32,
+    /// Whether request coalescing is enabled.
+    pub coalesce: bool,
+    /// Whether the cell runs under fault injection.
+    pub faults: bool,
+}
+
+impl SweepCell {
+    /// The cell's deterministic RNG seed.
+    ///
+    /// The base value matches the tracked bench workload (`0xBE7C` xor the
+    /// population, the seed `BENCH_sim.json` trajectories are measured
+    /// under); the protocol toggles perturb it so no two cells of one grid
+    /// share a random stream. The topology deliberately does *not* fold
+    /// in: comparing topologies at identical seeds is the whole point of
+    /// the paper's figures.
+    pub fn seed(&self) -> u64 {
+        let mut s = 0xBE7C ^ u64::from(self.n_procs);
+        if self.coalesce {
+            s ^= 0x40_0000;
+        }
+        if self.faults {
+            s ^= 0x80_0000;
+        }
+        s
+    }
+}
+
+/// Enumerates the cross product `topologies × sizes × coalesce × faults`
+/// in a fixed row-major order (topology outermost, fault flag innermost).
+/// `sizes` are process counts at `ppn` processes per node; cells whose
+/// topology cannot be built at the implied node count are skipped, so e.g.
+/// hypercube rows silently drop non-power-of-two populations.
+pub fn grid(
+    topologies: &[TopologyKind],
+    sizes: &[u32],
+    ppn: u32,
+    coalesce: &[bool],
+    faults: &[bool],
+) -> Vec<SweepCell> {
+    assert!(ppn >= 1, "ppn must be at least 1");
+    let mut cells = Vec::new();
+    for &topology in topologies {
+        for &n_procs in sizes {
+            if !topology.supports(n_procs / ppn) {
+                continue;
+            }
+            for &c in coalesce {
+                for &f in faults {
+                    cells.push(SweepCell {
+                        topology,
+                        n_procs,
+                        coalesce: c,
+                        faults: f,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs `f` over all `cells` on up to `threads` workers (see
+/// [`run_parallel`]), returning outputs in grid order.
+pub fn run_cells<O, F>(cells: Vec<SweepCell>, threads: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(&SweepCell) -> O + Sync,
+{
+    run_parallel(cells, threads, f)
+}
 
 /// Runs `f` over all `inputs` on up to `threads` worker threads (0 means
 /// one per available CPU), returning outputs in input order.
@@ -44,19 +131,29 @@ where
                     break;
                 }
                 let out = f(&inputs[i]);
-                results.lock().expect("sweep worker panicked")[i] = Some(out);
+                // A poisoned lock means another worker panicked mid-store;
+                // the slot vector is still well-formed (each slot is
+                // written at most once), and the scope re-raises the panic
+                // at join, so recover rather than double-panic here.
+                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(out);
             });
         }
     });
     results
         .into_inner()
-        .expect("sweep worker panicked")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|o| o.expect("job not completed"))
+        .map(|o| {
+            o.unwrap_or_else(||
+                // The scope joins every worker and worker panics propagate,
+                // so a missing slot cannot be observed here.
+                unreachable!("scope joined with an unfilled result slot"))
+        })
         .collect()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -94,6 +191,71 @@ mod tests {
         let inputs: Vec<u64> = (0..64).collect();
         let serial = run_parallel(inputs.clone(), 1, |&x| x.wrapping_mul(0x9E3779B9));
         let parallel = run_parallel(inputs, 6, |&x| x.wrapping_mul(0x9E3779B9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_is_row_major_and_skips_unsupported() {
+        let cells = grid(
+            &[TopologyKind::Fcg, TopologyKind::Hypercube],
+            &[4096, 4600], // 4600/4 = 1150 nodes: not a power of two
+            4,
+            &[false, true],
+            &[false],
+        );
+        // fcg gets both sizes, hypercube only the power-of-two one.
+        assert_eq!(cells.len(), 2 * 2 + 2);
+        assert_eq!(cells[0].topology, TopologyKind::Fcg);
+        assert_eq!(cells[0].n_procs, 4096);
+        assert!(!cells[0].coalesce);
+        assert!(cells[1].coalesce);
+        assert!(cells
+            .iter()
+            .filter(|c| c.topology == TopologyKind::Hypercube)
+            .all(|c| c.n_procs == 4096));
+    }
+
+    #[test]
+    fn cell_seeds_match_the_bench_trajectory() {
+        // The plain (no coalescing, no faults) cell must reproduce the
+        // seed the committed BENCH_sim.json numbers were measured under.
+        let plain = SweepCell {
+            topology: TopologyKind::Mfcg,
+            n_procs: 4096,
+            coalesce: false,
+            faults: false,
+        };
+        assert_eq!(plain.seed(), 0xBE7C ^ 4096);
+        // Toggles perturb the seed; topology does not.
+        let coalesced = SweepCell {
+            coalesce: true,
+            ..plain
+        };
+        let faulted = SweepCell {
+            faults: true,
+            ..plain
+        };
+        let fcg = SweepCell {
+            topology: TopologyKind::Fcg,
+            ..plain
+        };
+        assert_ne!(coalesced.seed(), plain.seed());
+        assert_ne!(faulted.seed(), plain.seed());
+        assert_ne!(coalesced.seed(), faulted.seed());
+        assert_eq!(fcg.seed(), plain.seed());
+    }
+
+    #[test]
+    fn run_cells_preserves_grid_order() {
+        let cells = grid(
+            &[TopologyKind::Fcg],
+            &[64, 128],
+            4,
+            &[false, true],
+            &[false, true],
+        );
+        let serial = run_cells(cells.clone(), 1, |c| (c.n_procs, c.seed()));
+        let parallel = run_cells(cells, 4, |c| (c.n_procs, c.seed()));
         assert_eq!(serial, parallel);
     }
 }

@@ -11,7 +11,7 @@
 //! tested property.
 
 use crate::ids::{NodeId, Sender};
-use std::collections::HashMap;
+use vt_core::FxHashMap;
 
 /// A sender's credit account on one directed virtual-topology edge.
 ///
@@ -58,8 +58,8 @@ impl CreditKey {
 #[derive(Debug)]
 pub struct CreditManager {
     cap: u32,
-    in_flight: HashMap<CreditKey, u32>,
-    waiters: HashMap<CreditKey, std::collections::VecDeque<Waiter>>,
+    in_flight: FxHashMap<CreditKey, u32>,
+    waiters: FxHashMap<CreditKey, std::collections::VecDeque<Waiter>>,
 }
 
 /// Who is waiting for a credit to free up.
@@ -89,8 +89,8 @@ impl CreditManager {
         assert!(cap >= 1, "need at least one credit per sender");
         CreditManager {
             cap,
-            in_flight: HashMap::new(),
-            waiters: HashMap::new(),
+            in_flight: FxHashMap::default(),
+            waiters: FxHashMap::default(),
         }
     }
 

@@ -22,9 +22,8 @@ use crate::layout::Layout;
 use crate::metrics::{CoalesceStats, FaultStats, Metrics, RepairStats};
 use crate::ops::{Op, OpKind};
 use crate::workload::{Action, ProcCtx, Program};
-use std::collections::{HashMap, HashSet};
 use vt_core::ldf::{self, HopDecision};
-use vt_core::{Grid, Shape, SurvivorPacking, TopologyKind, VirtualTopology};
+use vt_core::{FxHashMap, FxHashSet, Grid, Shape, SurvivorPacking, TopologyKind, VirtualTopology};
 use vt_simnet::fault::NodeCrash;
 use vt_simnet::{EventQueue, FaultPlan, Network, SendOutcome, SimTime};
 
@@ -412,7 +411,7 @@ pub struct Engine {
     fetch_counters: Vec<i64>,
     /// Mutex state per target rank: current holder and FIFO of queued lock
     /// requests (their responses are deferred until the grant).
-    locks: std::collections::HashMap<Rank, LockState>,
+    locks: FxHashMap<Rank, LockState>,
     metrics: Metrics,
     /// Per-node extra CHT cost from buffer-pool cache pressure.
     cht_pool_extra: Vec<SimTime>,
@@ -433,10 +432,10 @@ pub struct Engine {
     /// Origin-side completion set: `(rank, seq)` of every operation whose
     /// first response arrived. Later (duplicate) responses and stale
     /// timeouts check here. Fault runs only.
-    op_done: HashSet<(u32, u64)>,
+    op_done: FxHashSet<(u32, u64)>,
     /// Target-side dedup table for exactly-once execution of retried
     /// non-idempotent operations. Fault runs only.
-    seen: HashMap<(u32, u64), DedupState>,
+    seen: FxHashMap<(u32, u64), DedupState>,
     failures: Vec<SimError>,
     faults: FaultStats,
     /// Failure detector + epoch/repair state (inert unless
@@ -576,7 +575,7 @@ impl Engine {
             barrier_scheduled: false,
             done_count: 0,
             fetch_counters: vec![0; cfg.n_procs as usize],
-            locks: std::collections::HashMap::new(),
+            locks: FxHashMap::default(),
             metrics,
             cht_pool_extra,
             cht_busy_total: vec![SimTime::ZERO; n_nodes as usize],
@@ -588,8 +587,8 @@ impl Engine {
             lost_count: 0,
             failed_count: 0,
             next_seq: 0,
-            op_done: HashSet::new(),
-            seen: HashMap::new(),
+            op_done: FxHashSet::default(),
+            seen: FxHashMap::default(),
             failures: Vec::new(),
             faults: FaultStats::default(),
             membership: MembershipState::new(n_nodes, cfg.membership.heartbeat_period),
@@ -1449,14 +1448,17 @@ impl Engine {
         if self.faults_on() && self.net.node_dead(node, now) {
             // The assembling node died mid-service: every member copy dies
             // with it; their upstream buffers come back via reclaim timers.
-            let members = self.envelopes[env as usize].members.clone();
+            // The envelope slot is abandoned, so its member list moves out.
+            let members = std::mem::take(&mut self.envelopes[env as usize].members);
             for m in members {
                 self.reclaim_member(now, node, m);
             }
             return;
         }
         self.chts[node as usize].end_service(now);
-        let members = self.envelopes[env as usize].members.clone();
+        // Move the member list out while the slab is borrowed mutably; it is
+        // restored below — the arrival side unpacks from the same slot.
+        let members = std::mem::take(&mut self.envelopes[env as usize].members);
         let to = self.envelopes[env as usize].to;
         let class = self.envelopes[env as usize].class;
         let n = members.len() as u32;
@@ -1483,6 +1485,7 @@ impl Engine {
         self.coalesce.coalesced_requests += u64::from(n);
         self.coalesce.largest_envelope = self.coalesce.largest_envelope.max(payload);
         self.coalesce.deepest_fold = self.coalesce.deepest_fold.max(n);
+        self.envelopes[env as usize].members = members;
         if !self.faults_on() {
             let d = self.net.send_envelope(now, node, to, payload, n);
             self.queue
@@ -1511,7 +1514,9 @@ impl Engine {
     /// The envelope's single credit stays held until every member has been
     /// dealt with here (serviced, forwarded or discarded).
     fn envelope_arrive(&mut self, now: SimTime, env: u32, node: NodeId) {
-        let members = self.envelopes[env as usize].members.clone();
+        // Unpacking is the member list's last use: move it out of the slot
+        // (the remaining envelope bookkeeping is the `pending` count).
+        let members = std::mem::take(&mut self.envelopes[env as usize].members);
         self.envelopes[env as usize].pending = members.len() as u32;
         if self.membership_on() {
             let from = self.envelopes[env as usize].from;
@@ -2224,7 +2229,7 @@ impl Engine {
         let new_epoch = self.membership.epoch + 1;
         // Old-epoch operations still in flight at the commit: they drain
         // through stale rejection + origin retransmission, not blocking.
-        let mut drained: HashSet<(u32, u64)> = HashSet::new();
+        let mut drained: FxHashSet<(u32, u64)> = FxHashSet::default();
         for r in &self.requests {
             if r.live
                 && r.epoch < new_epoch

@@ -8,6 +8,8 @@
 //! with virtual topologies the *same* M costs `O(√N)` instead of `O(N)`
 //! memory.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Panel, Series, Table};
 use vt_bench::{emit, parse_opts};

@@ -11,6 +11,8 @@
 //!   (`fwd msgs` < `forwarded`) and fewer network messages overall, at
 //!   completion times no worse than the uncoalesced run.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Table};
 use vt_armci::CoalesceConfig;

@@ -17,6 +17,8 @@
 //! keeps climbing linearly in k — which is why MFCG, not some higher-k
 //! grid, is the sweet spot.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Table};
 use vt_bench::{emit, parse_opts};
@@ -50,7 +52,7 @@ fn main() {
             .zip(&outcomes)
             .find(|((jk, js), _)| *jk == k && *js == s)
             .map(|(_, o)| o.mean_us())
-            .unwrap()
+            .unwrap_or_else(|| unreachable!("every job tuple was enumerated above"))
     };
 
     let mut table = Table::new(&[

@@ -15,6 +15,8 @@
 //! (`1 − ppn/P`), so the price of contention attenuation under faults is
 //! measured purely in recovery time.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::faults::{run, FaultScenarioConfig};
 use vt_apps::{run_parallel, Table};
 use vt_armci::SimTime;

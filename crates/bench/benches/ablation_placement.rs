@@ -7,6 +7,8 @@
 //! *random* placement (no rank/distance correlation) it vanishes; a
 //! *strided* scatter sits in between.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Panel};
 use vt_bench::{emit, parse_opts};

@@ -13,6 +13,8 @@
 //! the hot node is platform-independent. The virtual-topology idea survives
 //! the platform change; the BEER cliff does not.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Table};
 use vt_bench::{emit, parse_opts};
@@ -75,7 +77,7 @@ fn main() {
             .zip(&outcomes)
             .find(|((n, _, jt, js), _)| *n == name && *jt == t && *js == s)
             .map(|(_, o)| o.mean_us())
-            .unwrap()
+            .unwrap_or_else(|| unreachable!("every job tuple was enumerated above"))
     };
     out.push_str("\n# Contention collapse factor (20% / none):\n");
     for &(name, _) in &platforms {

@@ -9,6 +9,8 @@
 //! is bounding distinct sources per node to O(√N) — is insensitive to the
 //! sweep.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Panel, Series};
 use vt_bench::{emit, parse_opts};

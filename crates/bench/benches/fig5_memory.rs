@@ -6,6 +6,8 @@
 //! processes over the ~612 MB base); MFCG, CFCG and Hypercube cut the
 //! increment by roughly one and two orders of magnitude, in that order.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::{Panel, Series, Table};
 use vt_bench::{emit, mib, parse_opts};
 use vt_core::{MemoryModel, TopologyKind};
@@ -38,7 +40,7 @@ fn main() {
             let topo = kind.build(nodes.max(1));
             let vmrss = model.master_vmrss_bytes(&topo, 0);
             points.push((f64::from(procs), vmrss as f64 / (1024.0 * 1024.0)));
-            if procs == *proc_counts.last().unwrap() {
+            if Some(&procs) == proc_counts.last() {
                 increments_at_max.push((kind, model.increment_bytes(&topo, 0)));
             }
         }
@@ -52,7 +54,7 @@ fn main() {
         .iter()
         .find(|(k, _)| *k == TopologyKind::Fcg)
         .map(|&(_, inc)| inc)
-        .expect("FCG measured");
+        .unwrap_or_else(|| unreachable!("FCG is in the topology list"));
     let mut table = Table::new(&[
         "topology",
         "VmRSS increment (MB)",

@@ -12,6 +12,8 @@
 //!   latency groups; Hypercube worst;
 //! * (e)/(f) CFCG at 11 %/20 % (Hypercube omitted, as in the paper).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Panel};
 use vt_bench::{emit, parse_opts};
@@ -46,7 +48,7 @@ fn main() {
         let idx = jobs
             .iter()
             .position(|&j| j == (topology, scenario))
-            .expect("job exists");
+            .unwrap_or_else(|| unreachable!("get() is only called with enumerated jobs"));
         &outcomes[idx]
     };
 

@@ -7,6 +7,8 @@
 //! resilient; under no contention the extra forwarding steps rank the
 //! topologies FCG < MFCG < CFCG < Hypercube.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::contention::{run, ContentionConfig, OpSpec, Scenario};
 use vt_apps::{run_parallel, Panel};
 use vt_bench::{emit, parse_opts};
@@ -39,7 +41,7 @@ fn main() {
         let idx = jobs
             .iter()
             .position(|&j| j == (topology, scenario))
-            .expect("job exists");
+            .unwrap_or_else(|| unreachable!("get() is only called with enumerated jobs"));
         &outcomes[idx]
     };
 

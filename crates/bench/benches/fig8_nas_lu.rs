@@ -6,6 +6,8 @@
 //! comparable (LU has no hot spot), with the leaner virtual topologies
 //! slightly ahead of FCG, more visibly at lower process counts.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::lu::{run, LuConfig};
 use vt_apps::{run_parallel, Panel, Series, Table};
 use vt_bench::{emit, parse_opts};
@@ -51,7 +53,7 @@ fn main() {
             .zip(&outcomes)
             .find(|((t, p), _)| *t == TopologyKind::Fcg && *p == procs)
             .map(|(_, o)| o.exec_seconds)
-            .expect("FCG run present");
+            .unwrap_or_else(|| unreachable!("the job list enumerates an FCG run at every scale"));
         for ((topology, p), o) in jobs.iter().zip(&outcomes) {
             if *p != procs {
                 continue;

@@ -11,6 +11,8 @@
 //!   budget, where paging flips the ranking (the paper's 10 000-core
 //!   crossover; see EXPERIMENTS.md for the deviation discussion).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use vt_apps::nwchem_ccsd::{self, CcsdConfig};
 use vt_apps::nwchem_dft::{self, DftConfig};
 use vt_apps::{run_parallel, Panel, Series, Table};
@@ -63,7 +65,7 @@ fn dft_panel(opts: &vt_bench::HarnessOpts, out: &mut String) {
             .zip(&outcomes)
             .find(|((t, c), _)| *t == TopologyKind::Fcg && *c == cores)
             .map(|(_, o)| o.exec_seconds)
-            .expect("FCG run present");
+            .unwrap_or_else(|| unreachable!("the job list enumerates an FCG run at every scale"));
         for ((topology, c), o) in jobs.iter().zip(&outcomes) {
             if *c != cores {
                 continue;

@@ -6,6 +6,8 @@
 //! up, then run in batches until a time budget is spent, and the median
 //! batch rate is reported as ns/iter.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use vt_armci::buffers::{CreditKey, CreditManager};
@@ -52,7 +54,7 @@ fn bench_ldf() {
         src = (src + 101) % 4096;
         black_box(ldf::route(&cube, 4096, black_box(src), 7));
     });
-    let hc = Shape::hypercube_for(4096).unwrap();
+    let hc = Shape::hypercube_for(4096).unwrap_or_else(|| unreachable!("4096 is a power of two"));
     let mut src = 1u32;
     bench("ldf/route/hypercube-4096", || {
         src = (src + 101) % 4096;

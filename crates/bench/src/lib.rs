@@ -14,8 +14,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 use std::fs;
 use std::path::PathBuf;
+
+pub mod throughput;
 
 /// Options common to all figure harnesses.
 #[derive(Clone, Debug)]
@@ -39,10 +42,31 @@ impl Default for HarnessOpts {
 }
 
 /// Parses harness options from the process arguments, ignoring anything the
-/// cargo bench driver passes that we don't know (e.g. `--bench`).
+/// cargo bench driver passes that we don't know (e.g. `--bench`). Exits
+/// with a diagnostic on a malformed flag — the callers are bench binaries,
+/// where a usage error should not render as a panic backtrace.
 pub fn parse_opts() -> HarnessOpts {
+    match try_parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses harness options from an explicit argument stream, surfacing
+/// malformed flags as an error message instead of exiting.
+///
+/// # Errors
+/// Returns a description of the offending flag when a value-taking flag
+/// is missing its value or the value does not parse.
+pub fn try_parse_opts<I>(args: I) -> Result<HarnessOpts, String>
+where
+    I: IntoIterator<Item = String>,
+{
     let mut opts = HarnessOpts::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
@@ -51,15 +75,15 @@ pub fn parse_opts() -> HarnessOpts {
                 opts.threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                    .ok_or("--threads needs a number")?;
             }
             "--out-dir" => {
-                opts.out_dir = PathBuf::from(args.next().expect("--out-dir needs a path"));
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a path")?);
             }
             _ => {} // tolerate cargo-bench driver flags
         }
     }
-    opts
+    Ok(opts)
 }
 
 /// Prints a rendered figure to stdout and saves it under the output
@@ -84,8 +108,28 @@ pub fn mib(bytes: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn try_parse_reads_flags() {
+        let o = try_parse_opts(argv(&["--full", "--threads", "3", "--out-dir", "x"])).unwrap();
+        assert!(!o.quick);
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.out_dir, PathBuf::from("x"));
+    }
+
+    #[test]
+    fn try_parse_rejects_missing_values() {
+        assert!(try_parse_opts(argv(&["--threads"])).is_err());
+        assert!(try_parse_opts(argv(&["--threads", "zebra"])).is_err());
+        assert!(try_parse_opts(argv(&["--out-dir"])).is_err());
+    }
 
     #[test]
     fn defaults_are_quick() {

@@ -1,0 +1,131 @@
+//! Deterministic fast hashing for simulator-internal tables.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed with per-process
+//! randomness and burns ~50 ns per small key — both properties are wrong for
+//! the simulator's hot-path tables (buffer-credit accounts, dedup state,
+//! lock registries): the tables are never fed attacker-controlled keys, and
+//! the runtime hashes them on every message hop. [`FxHasher`] is the
+//! multiply-xor hash used by the Rust compiler itself: unkeyed (so every run
+//! and every platform hashes identically — one less source of accidental
+//! nondeterminism), a handful of cycles per word, and more than uniform
+//! enough for the small integer-tuple keys the runtime uses.
+//!
+//! Determinism note: even with a fixed hasher, *iteration order* of a
+//! `HashMap` is an implementation detail. The simulator's rule is unchanged:
+//! any map iteration that can influence the timeline or a report must be
+//! sorted first. The fixed hasher exists for speed; the sorted-iteration
+//! discipline exists for correctness.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Builder producing [`FxHasher`]s (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc multiply-xor hasher: fast, unkeyed, deterministic across
+/// processes and platforms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (3u32, (7u32, 9u32), 1u8);
+        assert_eq!(hash_of(&key), hash_of(&key));
+        assert_eq!(hash_of(&"stream"), hash_of(&"stream"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..64u32 {
+            for b in 0..64u64 {
+                assert!(seen.insert(hash_of(&(a, b))), "collision at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(s.contains(&42));
+    }
+}

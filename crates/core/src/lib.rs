@@ -44,6 +44,7 @@
 pub mod coords;
 pub mod dot;
 pub mod graph;
+pub mod hash;
 pub mod ldf;
 pub mod memory;
 pub mod repack;
@@ -55,6 +56,7 @@ pub mod tree;
 pub use coords::{Coord, MAX_DIMS};
 pub use dot::{topology_dot, tree_dot};
 pub use graph::{DependencyGraph, DiGraph};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memory::MemoryModel;
 pub use repack::{fallback_ladder, repack, repack_with, RepackError, SurvivorPacking};
 pub use shape::Shape;

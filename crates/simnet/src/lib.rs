@@ -49,7 +49,7 @@ pub mod time;
 pub mod torus;
 
 pub use config::NetworkConfig;
-pub use engine::EventQueue;
+pub use engine::{BaselineEventQueue, EventQueue};
 pub use fault::{DropReason, DropWindow, FaultPlan, LinkFault, LinkMode, NodeCrash};
 pub use net::{Delivery, Network, SendOutcome};
 pub use nic::Nic;

@@ -4,25 +4,23 @@
 //! its wire-serialisation time, and later messages queue behind the
 //! occupancy horizon. This is where many-to-one traffic turns into tree
 //! saturation around a hot node.
+//!
+//! The per-link state is split hot/cold for the route walk, which runs once
+//! per physical hop of every simulated message: [`Link`] is the 16-byte
+//! always-touched reservation state, kept in one dense array so a walk
+//! streams cache lines instead of striding over fault windows it almost
+//! never reads; [`LinkFault`] holds the injected outage/degrade windows and
+//! lives in a separate array the network only allocates when a fault plan
+//! actually faults links.
 
 use crate::time::SimTime;
 
-/// One directed physical link.
-///
-/// A link may carry injected faults ([`Link::set_outage`],
-/// [`Link::set_degrade`]): an *outage* window during which every message
-/// whose head reaches the link is lost, and a *degrade* window during
-/// which serialisation is slowed by a factor. Both default to absent and
-/// cost nothing when unset.
+/// One directed physical link's reservation state.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Link {
     busy_until: SimTime,
     /// Total bytes ever serialised onto this link (for utilisation reports).
     bytes: u64,
-    /// Failure window `(from, until)`; `until = None` means forever.
-    outage: Option<(SimTime, Option<SimTime>)>,
-    /// Degradation window `(from, until, factor)` with `factor >= 1`.
-    degrade: Option<(SimTime, Option<SimTime>, f64)>,
 }
 
 impl Link {
@@ -35,6 +33,30 @@ impl Link {
         start
     }
 
+    /// The time at which the link becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes carried.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Injected fault windows for one directed link: an *outage* window during
+/// which every message whose head reaches the link is lost, and a *degrade*
+/// window during which serialisation is slowed by a factor. Both default to
+/// absent and cost nothing when unset.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkFault {
+    /// Failure window `(from, until)`; `until = None` means forever.
+    outage: Option<(SimTime, Option<SimTime>)>,
+    /// Degradation window `(from, until, factor)` with `factor >= 1`.
+    degrade: Option<(SimTime, Option<SimTime>, f64)>,
+}
+
+impl LinkFault {
     /// Installs a failure window: messages heading onto the link inside
     /// `[from, until)` are dropped (`until = None` leaves it down forever).
     pub fn set_outage(&mut self, from: SimTime, until: Option<SimTime>) {
@@ -66,16 +88,6 @@ impl Link {
             Some((from, until, factor)) if at >= from && until.is_none_or(|u| at < u) => factor,
             _ => 1.0,
         }
-    }
-
-    /// The time at which the link becomes free.
-    pub fn busy_until(&self) -> SimTime {
-        self.busy_until
-    }
-
-    /// Total bytes carried.
-    pub fn bytes(&self) -> u64 {
-        self.bytes
     }
 }
 
@@ -113,47 +125,53 @@ mod tests {
     }
 
     #[test]
+    fn link_hot_state_is_two_words() {
+        // The route walk streams this array; keep the entry at 16 bytes.
+        assert_eq!(std::mem::size_of::<Link>(), 16);
+    }
+
+    #[test]
     fn healthy_link_reports_no_faults() {
-        let l = Link::default();
-        assert!(!l.is_down(SimTime::ZERO));
-        assert!(!l.is_down(SimTime::from_secs(100)));
-        assert_eq!(l.occupancy_factor(SimTime::ZERO), 1.0);
+        let f = LinkFault::default();
+        assert!(!f.is_down(SimTime::ZERO));
+        assert!(!f.is_down(SimTime::from_secs(100)));
+        assert_eq!(f.occupancy_factor(SimTime::ZERO), 1.0);
     }
 
     #[test]
     fn outage_window_bounds_are_half_open() {
-        let mut l = Link::default();
-        l.set_outage(SimTime::from_nanos(10), Some(SimTime::from_nanos(20)));
-        assert!(!l.is_down(SimTime::from_nanos(9)));
-        assert!(l.is_down(SimTime::from_nanos(10)));
-        assert!(l.is_down(SimTime::from_nanos(19)));
-        assert!(!l.is_down(SimTime::from_nanos(20)));
+        let mut f = LinkFault::default();
+        f.set_outage(SimTime::from_nanos(10), Some(SimTime::from_nanos(20)));
+        assert!(!f.is_down(SimTime::from_nanos(9)));
+        assert!(f.is_down(SimTime::from_nanos(10)));
+        assert!(f.is_down(SimTime::from_nanos(19)));
+        assert!(!f.is_down(SimTime::from_nanos(20)));
     }
 
     #[test]
     fn permanent_outage_never_clears() {
-        let mut l = Link::default();
-        l.set_outage(SimTime::from_nanos(5), None);
-        assert!(!l.is_down(SimTime::from_nanos(4)));
-        assert!(l.is_down(SimTime::from_secs(1_000)));
+        let mut f = LinkFault::default();
+        f.set_outage(SimTime::from_nanos(5), None);
+        assert!(!f.is_down(SimTime::from_nanos(4)));
+        assert!(f.is_down(SimTime::from_secs(1_000)));
     }
 
     #[test]
     fn degrade_window_scales_occupancy_factor() {
-        let mut l = Link::default();
-        l.set_degrade(
+        let mut f = LinkFault::default();
+        f.set_degrade(
             SimTime::from_nanos(100),
             Some(SimTime::from_nanos(200)),
             3.0,
         );
-        assert_eq!(l.occupancy_factor(SimTime::from_nanos(99)), 1.0);
-        assert_eq!(l.occupancy_factor(SimTime::from_nanos(100)), 3.0);
-        assert_eq!(l.occupancy_factor(SimTime::from_nanos(200)), 1.0);
+        assert_eq!(f.occupancy_factor(SimTime::from_nanos(99)), 1.0);
+        assert_eq!(f.occupancy_factor(SimTime::from_nanos(100)), 3.0);
+        assert_eq!(f.occupancy_factor(SimTime::from_nanos(200)), 1.0);
     }
 
     #[test]
     #[should_panic(expected = "must be >= 1")]
     fn degrade_speedup_panics() {
-        Link::default().set_degrade(SimTime::ZERO, None, 0.25);
+        LinkFault::default().set_degrade(SimTime::ZERO, None, 0.25);
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::config::NetworkConfig;
 use crate::fault::{DropReason, DropWindow, FaultPlan, LinkMode};
-use crate::link::Link;
+use crate::link::{Link, LinkFault};
 use crate::nic::Nic;
 use crate::placement::PlacementMap;
 use crate::rng::DetRng;
@@ -84,6 +84,10 @@ pub struct Network {
     torus: Torus3,
     placement: PlacementMap,
     links: Vec<Link>,
+    /// Per-link fault windows, index-parallel to `links`; allocated only
+    /// when the installed plan faults links, so the fault-free route walk
+    /// streams the dense 16-byte `links` entries alone.
+    link_faults: Option<Vec<LinkFault>>,
     nics: Vec<Nic>,
     counters: NetCounters,
     faults: Option<FaultCtx>,
@@ -110,6 +114,7 @@ impl Network {
             torus,
             placement,
             links,
+            link_faults: None,
             nics,
             counters: NetCounters::default(),
             faults: None,
@@ -132,17 +137,21 @@ impl Network {
         if let Err(e) = plan.validate() {
             panic!("invalid fault plan: {e}");
         }
-        for f in &plan.link_faults {
-            let id = f.slot as usize * 6 + usize::from(f.dir);
-            assert!(
-                id < net.links.len(),
-                "link fault slot {} outside the torus",
-                f.slot
-            );
-            match f.mode {
-                LinkMode::Fail => net.links[id].set_outage(f.at, f.until),
-                LinkMode::Degrade(factor) => net.links[id].set_degrade(f.at, f.until, factor),
+        if !plan.link_faults.is_empty() {
+            let mut windows = vec![LinkFault::default(); net.links.len()];
+            for f in &plan.link_faults {
+                let id = f.slot as usize * 6 + usize::from(f.dir);
+                assert!(
+                    id < windows.len(),
+                    "link fault slot {} outside the torus",
+                    f.slot
+                );
+                match f.mode {
+                    LinkMode::Fail => windows[id].set_outage(f.at, f.until),
+                    LinkMode::Degrade(factor) => windows[id].set_degrade(f.at, f.until, factor),
+                }
             }
+            net.link_faults = Some(windows);
         }
         let mut crash_time = vec![None; n_nodes as usize];
         for c in &plan.node_crashes {
@@ -220,12 +229,13 @@ impl Network {
         let occupancy = self.cfg.link_time(bytes);
         let route = self
             .torus
-            .route_links(self.placement.slot(src), self.placement.slot(dst));
-        let hops = route.len() as u32;
+            .route(self.placement.slot(src), self.placement.slot(dst));
+        let mut hops = 0u32;
         let mut head = entered;
         for link_id in route {
             head =
                 self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
+            hops += 1;
         }
         let arrival = head + occupancy;
 
@@ -278,12 +288,13 @@ impl Network {
         let occupancy = self.cfg.link_time(bytes);
         let route = self
             .torus
-            .route_links(self.placement.slot(src), self.placement.slot(dst));
-        let hops = route.len() as u32;
+            .route(self.placement.slot(src), self.placement.slot(dst));
+        let mut hops = 0u32;
         let mut head = entered;
         for link_id in route {
             head =
                 self.links[link_id as usize].reserve(head, occupancy, bytes) + self.cfg.hop_latency;
+            hops += 1;
         }
         let arrival = head + occupancy;
         let (at, stream_miss) = self.nics[dst as usize].reserve_rx_envelope(
@@ -349,29 +360,30 @@ impl Network {
         let entered =
             self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
         let occupancy = self.cfg.link_time(bytes);
-        let route = self
-            .torus
-            .route_links(self.placement.slot(src), self.placement.slot(dst));
-        let hops = route.len() as u32;
+        let (sa, sb) = (self.placement.slot(src), self.placement.slot(dst));
+        let hops = self.torus.hop_count(sa, sb);
         let mut head = entered;
         let mut drain = occupancy;
-        for (traversed, link_id) in route.into_iter().enumerate() {
-            let link = &mut self.links[link_id as usize];
-            if link.is_down(head) {
-                self.counters.messages += 1;
-                self.counters.bytes += bytes;
-                self.counters.hops += traversed as u64;
-                self.counters.dropped += 1;
-                self.counters.envelopes += 1;
-                self.counters.coalesced_requests += u64::from(subreqs);
-                return SendOutcome::Dropped {
-                    at: head,
-                    reason: DropReason::LinkDown,
-                };
-            }
-            let scaled = scale_time(occupancy, link.occupancy_factor(head));
+        for (traversed, link_id) in self.torus.route(sa, sb).enumerate() {
+            let id = link_id as usize;
+            let scaled = match &self.link_faults {
+                Some(lf) if lf[id].is_down(head) => {
+                    self.counters.messages += 1;
+                    self.counters.bytes += bytes;
+                    self.counters.hops += traversed as u64;
+                    self.counters.dropped += 1;
+                    self.counters.envelopes += 1;
+                    self.counters.coalesced_requests += u64::from(subreqs);
+                    return SendOutcome::Dropped {
+                        at: head,
+                        reason: DropReason::LinkDown,
+                    };
+                }
+                Some(lf) => scale_time(occupancy, lf[id].occupancy_factor(head)),
+                None => occupancy,
+            };
             drain = drain.max(scaled);
-            head = link.reserve(head, scaled, bytes) + self.cfg.hop_latency;
+            head = self.links[id].reserve(head, scaled, bytes) + self.cfg.hop_latency;
         }
         let arrival = head + drain;
 
@@ -456,30 +468,31 @@ impl Network {
         let entered =
             self.nics[src as usize].reserve_tx(now, self.cfg.tx_overhead, self.cfg.inj_time(bytes));
         let occupancy = self.cfg.link_time(bytes);
-        let route = self
-            .torus
-            .route_links(self.placement.slot(src), self.placement.slot(dst));
-        let hops = route.len() as u32;
+        let (sa, sb) = (self.placement.slot(src), self.placement.slot(dst));
+        let hops = self.torus.hop_count(sa, sb);
         let mut head = entered;
         // Cut-through as in `send`, except a degraded link slows its own
         // serialisation and the end-to-end drain is set by the slowest
         // link the body crosses.
         let mut drain = occupancy;
-        for (traversed, link_id) in route.into_iter().enumerate() {
-            let link = &mut self.links[link_id as usize];
-            if link.is_down(head) {
-                self.counters.messages += 1;
-                self.counters.bytes += bytes;
-                self.counters.hops += traversed as u64;
-                self.counters.dropped += 1;
-                return SendOutcome::Dropped {
-                    at: head,
-                    reason: DropReason::LinkDown,
-                };
-            }
-            let scaled = scale_time(occupancy, link.occupancy_factor(head));
+        for (traversed, link_id) in self.torus.route(sa, sb).enumerate() {
+            let id = link_id as usize;
+            let scaled = match &self.link_faults {
+                Some(lf) if lf[id].is_down(head) => {
+                    self.counters.messages += 1;
+                    self.counters.bytes += bytes;
+                    self.counters.hops += traversed as u64;
+                    self.counters.dropped += 1;
+                    return SendOutcome::Dropped {
+                        at: head,
+                        reason: DropReason::LinkDown,
+                    };
+                }
+                Some(lf) => scale_time(occupancy, lf[id].occupancy_factor(head)),
+                None => occupancy,
+            };
             drain = drain.max(scaled);
-            head = link.reserve(head, scaled, bytes) + self.cfg.hop_latency;
+            head = self.links[id].reserve(head, scaled, bytes) + self.cfg.hop_latency;
         }
         let arrival = head + drain;
 
@@ -560,8 +573,21 @@ impl Network {
             .filter(|(_, l)| l.bytes() > 0)
             .map(|(id, l)| ((id / 6) as u32, (id % 6) as u8, l.bytes()))
             .collect();
-        loaded.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
-        loaded.truncate(k);
+        // Busiest-first; ties broken by (slot, direction) so the result is
+        // deterministic. Partition the top k in O(n), then sort only that
+        // slice — the full list can be every link in a 19 200-slot torus.
+        let cmp = |a: &(u32, u8, u64), b: &(u32, u8, u64)| {
+            b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+        };
+        if k == 0 || loaded.is_empty() {
+            loaded.truncate(k);
+            return loaded;
+        }
+        if k < loaded.len() {
+            loaded.select_nth_unstable_by(k - 1, cmp);
+            loaded.truncate(k);
+        }
+        loaded.sort_unstable_by(cmp);
         loaded
     }
 
@@ -771,6 +797,37 @@ mod tests {
         assert!(top[0].2 > 50_000, "hottest link only {} bytes", top[0].2);
         // Total link bytes = payload x hops.
         assert_eq!(net.total_link_bytes(), 10_000 * net.counters().hops);
+    }
+
+    #[test]
+    fn top_links_k_selection_matches_full_sort_with_ties() {
+        // Many links carrying *identical* byte loads: the k-selection must
+        // return exactly the prefix a full deterministic sort would, with
+        // ties broken by (slot, direction) ascending.
+        let mut net = quiet_net(27);
+        let mut pairs = 0;
+        for src in 0..27u32 {
+            for dst in 0..27u32 {
+                if src != dst && net.hop_distance(src, dst) == 1 && pairs < 12 {
+                    net.send(SimTime::ZERO, src, dst, 5_000);
+                    pairs += 1;
+                }
+            }
+        }
+        assert_eq!(pairs, 12);
+        let full = net.top_links(usize::MAX);
+        assert_eq!(full.len(), 12);
+        assert!(full.iter().all(|e| e.2 == 5_000), "loads must tie");
+        for w in full.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) < (w[1].0, w[1].1),
+                "ties must order by (slot, dir): {w:?}"
+            );
+        }
+        for k in [0, 1, 5, 11, 12, 40] {
+            let top = net.top_links(k);
+            assert_eq!(top, full[..k.min(full.len())], "k = {k}");
+        }
     }
 
     #[test]

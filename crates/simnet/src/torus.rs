@@ -126,38 +126,103 @@ impl Torus3 {
     }
 
     /// The directed links of the dimension-order (X → Y → Z) route from `a`
+    /// to `b`, in traversal order, computed lazily with no allocation.
+    /// Yields nothing when `a == b`. This is the message-send hot path;
+    /// [`Torus3::route_links`] materialises the same sequence for analysis
+    /// and tests.
+    pub fn route(&self, a: u32, b: u32) -> RouteIter {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        let mut left = [0u32; 3];
+        let mut plus = [true; 3];
+        for d in 0..3 {
+            let step = self.delta(d, ca[d], cb[d]);
+            left[d] = step.unsigned_abs() as u32;
+            plus[d] = step >= 0;
+        }
+        RouteIter {
+            dims: self.dims,
+            strides: [1, self.dims[0], self.dims[0] * self.dims[1]],
+            cur: ca,
+            slot: a,
+            left,
+            plus,
+            dim: 0,
+        }
+    }
+
+    /// The directed links of the dimension-order (X → Y → Z) route from `a`
     /// to `b`, in traversal order. Empty when `a == b`.
     pub fn route_links(&self, a: u32, b: u32) -> Vec<LinkId> {
-        let mut links = Vec::with_capacity(self.hop_count(a, b) as usize);
-        let mut cur = self.coord_of(a);
-        let target = self.coord_of(b);
-        for dim in 0..3 {
-            let mut steps = self.delta(dim, cur[dim], target[dim]);
-            while steps != 0 {
-                let (dir, next) = if steps > 0 {
-                    let dir = match dim {
-                        0 => Dir::XPlus,
-                        1 => Dir::YPlus,
-                        _ => Dir::ZPlus,
-                    };
-                    ((dir), (cur[dim] + 1) % self.dims[dim])
-                } else {
-                    let dir = match dim {
-                        0 => Dir::XMinus,
-                        1 => Dir::YMinus,
-                        _ => Dir::ZMinus,
-                    };
-                    ((dir), (cur[dim] + self.dims[dim] - 1) % self.dims[dim])
-                };
-                links.push(self.slot_of(cur) * 6 + dir as u32);
-                cur[dim] = next;
-                steps -= if steps > 0 { 1 } else { -1 };
-            }
-        }
-        debug_assert_eq!(cur, target);
-        links
+        self.route(a, b).collect()
     }
 }
+
+/// Allocation-free iterator over a dimension-order route's directed links
+/// (see [`Torus3::route`]). Owns copies of the coordinates, so it borrows
+/// nothing — callers can walk the route while mutating link state.
+///
+/// The wraparound side and step count per dimension are fixed by `delta` at
+/// construction (one division each); stepping is pure add/compare with an
+/// incrementally maintained slot — this iterator runs once per physical hop
+/// of every simulated message.
+#[derive(Clone, Debug)]
+pub struct RouteIter {
+    dims: [u32; 3],
+    strides: [u32; 3],
+    cur: [u32; 3],
+    slot: u32,
+    /// Remaining hops per dimension.
+    left: [u32; 3],
+    /// Chosen side per dimension (`true` = the `+` direction).
+    plus: [bool; 3],
+    dim: usize,
+}
+
+impl Iterator for RouteIter {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        while self.dim < 3 {
+            let d = self.dim;
+            if self.left[d] == 0 {
+                self.dim += 1;
+                continue;
+            }
+            self.left[d] -= 1;
+            let link = self.slot * 6;
+            let stride = self.strides[d];
+            let dir = if self.plus[d] {
+                if self.cur[d] + 1 == self.dims[d] {
+                    self.cur[d] = 0;
+                    self.slot -= stride * (self.dims[d] - 1);
+                } else {
+                    self.cur[d] += 1;
+                    self.slot += stride;
+                }
+                2 * d as u32 // XPlus / YPlus / ZPlus
+            } else {
+                if self.cur[d] == 0 {
+                    self.cur[d] = self.dims[d] - 1;
+                    self.slot += stride * (self.dims[d] - 1);
+                } else {
+                    self.cur[d] -= 1;
+                    self.slot -= stride;
+                }
+                2 * d as u32 + 1 // XMinus / YMinus / ZMinus
+            };
+            return Some(link + dir);
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.left[0] + self.left[1] + self.left[2]) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]

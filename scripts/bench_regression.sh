@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Simulator-throughput regression gate.
+#
+# Rebuilds vtsim and re-measures the quick bench cells (N = 1024 per
+# topology, best of 5 repeats) against the committed BENCH_sim.json
+# trajectory at the repo root. Exits non-zero when any cell falls more
+# than 50% below the committed events/sec — the same gate CI's
+# bench-smoke job enforces. The freshly measured document is left at
+# target/bench_now.json for inspection or for updating the trajectory.
+#
+# Usage: scripts/bench_regression.sh [extra vtsim bench flags...]
+# e.g.   scripts/bench_regression.sh --repeats 8
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --bin vtsim
+./target/release/vtsim bench --quick \
+  --baseline BENCH_sim.json \
+  --out target/bench_now.json \
+  "$@"

@@ -163,6 +163,12 @@ pub fn usage() -> String {
                    complete the workload via epoch re-packing; exits\n\
                    non-zero unless every run completes with zero credit\n\
                    leaks and a certified post-repair topology\n\
+       bench       [--quick] [--repeats N] [--sizes 1024,4096,16384]\n\
+                   [--topologies fcg,mfcg,cfcg,hypercube] [--out PATH]\n\
+                   [--baseline BENCH_sim.json] [--max-regression-pct 50]\n\
+                   simulator-core throughput on the frozen hot-spot\n\
+                   workload; emits the BENCH_sim.json trajectory document\n\
+                   and, with --baseline, exits non-zero on a regression\n\
      \n\
      Topologies: fcg mfcg cfcg hypercube kfcgN. Scenarios: none 11 20 1/N.\n"
         .to_string()
@@ -173,6 +179,15 @@ pub fn usage() -> String {
 /// # Errors
 /// Returns a usage/flag error message.
 pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
+    // `bench` follows the figure-harness convention of a bare `--quick`;
+    // normalize it to the `--flag value` shape the parser expects.
+    let normalized;
+    let args = if cmd == "bench" {
+        normalized = normalize_bare_flags(args, &["--quick"]);
+        &normalized[..]
+    } else {
+        args
+    };
     let mut flags = Flags::parse(args)?;
     let out = match cmd {
         "analyze" => {
@@ -188,8 +203,9 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 ));
             }
             if matrix {
+                let threads: usize = flags.take("threads", 0)?;
                 flags.finish()?;
-                return analyze_matrix(&format);
+                return analyze_matrix(&format, threads);
             }
             let topology = flags.take_topology(TopologyKind::Mfcg)?;
             let nodes: u32 = flags.take("nodes", 64)?;
@@ -583,10 +599,87 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
             }
             out
         }
+        "bench" => {
+            let quick = match flags.take("quick", "off".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --quick: '{other}' (on|off)")),
+            };
+            let mut opts = if quick {
+                vt_bench::throughput::BenchOpts::quick()
+            } else {
+                vt_bench::throughput::BenchOpts::full()
+            };
+            opts.repeats = flags.take("repeats", opts.repeats)?;
+            let sizes = flags.take("sizes", String::new())?;
+            if !sizes.is_empty() {
+                opts.sizes = sizes
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .map_err(|_| format!("invalid size '{v}' in --sizes"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+            }
+            let topologies = flags.take("topologies", String::new())?;
+            if !topologies.is_empty() {
+                opts.topologies = topologies
+                    .split(',')
+                    .map(parse_topology)
+                    .collect::<Result<Vec<TopologyKind>, String>>()?;
+            }
+            let out_path = flags.take("out", String::new())?;
+            let baseline = flags.take("baseline", String::new())?;
+            let max_regression_pct: f64 = flags.take(
+                "max-regression-pct",
+                vt_bench::throughput::DEFAULT_MAX_REGRESSION_PCT,
+            )?;
+            flags.finish()?;
+            let report = vt_bench::throughput::run(&opts).map_err(|e| e.to_string())?;
+            let mut out = report.render();
+            if !baseline.is_empty() {
+                let doc = std::fs::read_to_string(&baseline)
+                    .map_err(|e| format!("cannot read {baseline}: {e}"))?;
+                let table =
+                    vt_bench::throughput::check_regression(&report, &doc, max_regression_pct)
+                        .map_err(|e| e.to_string())?;
+                out.push_str("\nvs committed baseline (gate passed):\n");
+                out.push_str(&table);
+            }
+            if out_path.is_empty() {
+                out.push('\n');
+                out.push_str(&report.to_json());
+            } else {
+                std::fs::write(&out_path, report.to_json())
+                    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+                out.push_str(&format!("\n[wrote {out_path}]\n"));
+            }
+            out
+        }
         "help" | "--help" | "-h" => usage(),
         other => return Err(format!("unknown command '{other}'\n\n{}", usage())),
     };
     Ok(out)
+}
+
+/// Expands bare boolean flags (e.g. a trailing `--quick` or one followed
+/// by another flag) into `--flag on` pairs so [`Flags::parse`] accepts
+/// them.
+fn normalize_bare_flags(args: &[String], bare: &[&str]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len() + 1);
+    for (i, a) in args.iter().enumerate() {
+        out.push(a.clone());
+        if bare.contains(&a.as_str()) {
+            let followed_by_flag = match args.get(i + 1) {
+                Some(next) => next.starts_with("--"),
+                None => true,
+            };
+            if followed_by_flag {
+                out.push("on".to_string());
+            }
+        }
+    }
+    out
 }
 
 /// Crash victim used by `vtsim analyze --fault crash`: the first forwarder
@@ -703,7 +796,7 @@ fn repair_json(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
 /// coalescing on/off and {fault-free, forwarder crash}. Fails (non-zero
 /// exit) when any cell is not certified; the JSON carries the per-cell
 /// reports plus the `all_certified` gate bit.
-fn analyze_matrix(format: &str) -> Result<String, String> {
+fn analyze_matrix(format: &str, threads: usize) -> Result<String, String> {
     // Representative populations per topology, including non-power-of-two
     // and partially-packed LDF sizes. Partial packings are single-fault
     // tolerant only outside the top slice's escape-critical set (the
@@ -717,9 +810,7 @@ fn analyze_matrix(format: &str) -> Result<String, String> {
         (TopologyKind::Cfcg, &[(27, None), (29, Some(25))]),
         (TopologyKind::Hypercube, &[(8, None), (16, None)]),
     ];
-    let mut cells = Vec::new();
-    let mut human = String::new();
-    let mut all = true;
+    let mut jobs = Vec::new();
     for (kind, ns) in sizes {
         for &(n, pinned) in ns {
             for coalesce in [false, true] {
@@ -732,21 +823,33 @@ fn analyze_matrix(format: &str) -> Result<String, String> {
                             .into_iter()
                             .collect();
                     }
-                    let report = vt_analyze::analyze(&cfg)?;
-                    let ok = report.certified();
-                    all &= ok;
-                    human.push_str(&format!(
-                        "{:10} n={:<3} coalesce={:3} fault={:5}  {}\n",
-                        kind.name(),
-                        n,
-                        if coalesce { "on" } else { "off" },
-                        if fault { "crash" } else { "none" },
-                        if ok { "CERTIFIED" } else { "NOT CERTIFIED" },
-                    ));
-                    cells.push(report.to_json());
+                    jobs.push((kind, n, coalesce, fault, cfg));
                 }
             }
         }
+    }
+    // Cells are independent; fan them over the sweep driver. Each cell is
+    // deterministic and results come back in input order, so the rendered
+    // matrix (diffed byte-for-byte in CI) is identical at any thread count.
+    let meta: Vec<_> = jobs.iter().map(|&(k, n, c, f, _)| (k, n, c, f)).collect();
+    let reports =
+        vt_apps::run_parallel(jobs, threads, |(_, _, _, _, cfg)| vt_analyze::analyze(cfg));
+    let mut cells = Vec::new();
+    let mut human = String::new();
+    let mut all = true;
+    for ((kind, n, coalesce, fault), report) in meta.into_iter().zip(reports) {
+        let report = report?;
+        let ok = report.certified();
+        all &= ok;
+        human.push_str(&format!(
+            "{:10} n={:<3} coalesce={:3} fault={:5}  {}\n",
+            kind.name(),
+            n,
+            if coalesce { "on" } else { "off" },
+            if fault { "crash" } else { "none" },
+            if ok { "CERTIFIED" } else { "NOT CERTIFIED" },
+        ));
+        cells.push(report.to_json());
     }
     let out = if format == "json" {
         format!(

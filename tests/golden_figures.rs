@@ -253,6 +253,18 @@ fn regen_guard_refuses_mismatched_config_stamps() {
 }
 
 #[test]
+fn baseline_config_stamp_is_pinned() {
+    // The literal FNV-1a stamp of the baseline figure configuration,
+    // pinned so core refactors (event queue, payload plumbing, hashers)
+    // provably cannot drift the configuration descriptor — and with it the
+    // committed snapshots — without a reviewed change to this constant.
+    if membership_requested() {
+        return; // the pin is for the baseline descriptor only
+    }
+    assert_eq!(config_stamp(), "c24d9f8164b8c159");
+}
+
+#[test]
 fn committed_baselines_carry_the_membership_disabled_stamp() {
     // The committed snapshots must be regenerable under the baseline
     // (membership-off) configuration — i.e. their stamped header matches
