@@ -19,6 +19,10 @@
 //! * [`faults`] — the topology-resilience experiment: kill a forwarder
 //!   mid-run and measure completion time, availability and the
 //!   self-healing runtime's recovery counters per topology.
+//! * [`serve`] — the open-system overload experiment: deterministic
+//!   arrival processes drive every rank as a serving client past the hot
+//!   CHT's saturation point, measuring shed/goodput/latency behaviour and
+//!   (optionally) a certified load-triggered topology re-pack.
 //! * [`report`] — gnuplot-ready series/panel/table rendering.
 //! * [`sweep`] — a scoped-thread parallel runner for independent
 //!   simulations (each simulation itself stays single-threaded and
@@ -35,6 +39,7 @@ pub mod nwchem_ccsd;
 pub mod nwchem_dft;
 pub mod repair;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 
 pub use contention::{ContentionConfig, ContentionOutcome, OpSpec, Scenario};
@@ -45,6 +50,7 @@ pub use nwchem_ccsd::{CcsdConfig, CcsdOutcome};
 pub use nwchem_dft::{DftConfig, DftOutcome};
 pub use repair::{RepairOutcome, RepairScenarioConfig};
 pub use report::{Panel, Series, Table};
+pub use serve::{CurvePoint, ServeOutcome, ServeScenarioConfig};
 pub use sweep::{grid, run_cells, run_parallel, SweepCell};
 
 /// Error from an experiment driver's fallible entry point (`try_run`).

@@ -3,7 +3,7 @@
 use crate::ops::{Op, OpKind};
 use serde::{Deserialize, Serialize};
 use vt_core::TopologyKind;
-use vt_simnet::{NetworkConfig, SimTime};
+use vt_simnet::{ArrivalProcess, DetRng, NetworkConfig, SimTime};
 
 /// Timing model of the communication helper thread.
 ///
@@ -136,6 +136,18 @@ pub struct RetryConfig {
     /// Exponential backoff multiplier: attempt `k` waits
     /// `timeout × backoff^k`.
     pub backoff: u32,
+    /// Use capped *decorrelated jitter* instead of the fixed exponential
+    /// ladder: attempt `k ≥ 1` waits a uniform draw from
+    /// `[timeout, min(jitter_cap, prev × backoff))`, where `prev` is the
+    /// previous attempt's actual wait. Synchronised retransmissions are the
+    /// fuel of retry storms — jitter desynchronises them while the cap keeps
+    /// the worst-case wait bounded. Deterministic: the draw comes from a
+    /// pure [`DetRng`] fork keyed on `(seed, seq, attempt)`, so a seed fixes
+    /// the whole timeline. Off by default (serving mode forces it on) so
+    /// committed fault baselines keep their exact exponential timings.
+    pub jitter: bool,
+    /// Upper bound on any jittered wait. Irrelevant when `jitter` is off.
+    pub jitter_cap: SimTime,
 }
 
 impl Default for RetryConfig {
@@ -144,17 +156,38 @@ impl Default for RetryConfig {
             timeout: SimTime::from_millis(5),
             max_retries: 4,
             backoff: 2,
+            jitter: false,
+            jitter_cap: SimTime::from_millis(80),
         }
     }
 }
 
 impl RetryConfig {
-    /// The response deadline offset for retransmission attempt `attempt`.
+    /// The response deadline offset for retransmission attempt `attempt`
+    /// under the fixed exponential policy.
     pub fn deadline(&self, attempt: u32) -> SimTime {
         let mult = u64::from(self.backoff)
             .saturating_pow(attempt.min(20))
             .max(1);
         self.timeout * mult
+    }
+
+    /// One decorrelated-jitter wait: uniform in
+    /// `[timeout, min(jitter_cap, prev × backoff)]`, never below `timeout`.
+    /// `prev` is the wait the previous attempt actually used (`timeout` for
+    /// attempt 0). Pure in `(self, prev, rng state)`.
+    pub fn decorrelated(&self, prev: SimTime, rng: &mut DetRng) -> SimTime {
+        let cap = self.jitter_cap.max(self.timeout);
+        let upper = SimTime::from_nanos(
+            prev.as_nanos()
+                .saturating_mul(u64::from(self.backoff.max(1))),
+        )
+        .min(cap);
+        if upper <= self.timeout {
+            return self.timeout;
+        }
+        let span = (upper - self.timeout).as_nanos();
+        self.timeout + SimTime::from_nanos(rng.u64_below(span + 1))
     }
 }
 
@@ -246,6 +279,100 @@ impl MembershipConfig {
     }
 }
 
+/// Open-system serving policy: arrival-driven client load with overload
+/// controls.
+///
+/// When enabled, ranks run no scripted program; instead each rank is a
+/// *client* whose requests (fetch-&-adds on the shared counter at
+/// `hot_rank`, the paper's `nxtval` pattern) arrive over simulated time
+/// according to [`ArrivalProcess`], until `horizon`. Overload is handled in
+/// three layers, outermost first:
+///
+/// 1. **Admission control** — a client with `queue_cap` requests already in
+///    flight sheds new arrivals deterministically
+///    ([`SimError::Overloaded`](crate::SimError::Overloaded) diagnostics +
+///    shed counters) instead of queueing without bound.
+/// 2. **Retry budgets with decorrelated jitter** — each admitted request
+///    gets at most `retry_budget` retransmissions, spaced by capped
+///    decorrelated jitter ([`RetryConfig::decorrelated`]) so timeouts past
+///    saturation do not synchronise into a retry storm.
+/// 3. **Metastability guard** — when the shed fraction over a detector tick
+///    stays above `guard_threshold`, retransmissions are suppressed
+///    entirely until the shed rate falls back: retries are the work
+///    amplifier that keeps an overloaded system overloaded after the
+///    triggering spike has passed.
+///
+/// With `load_repack`, the detector additionally samples per-node CHT queue
+/// depths every `tick`; sustained skew (max/mean ≥ `skew_threshold` for
+/// `skew_ticks` consecutive ticks) commits a **membership epoch** that
+/// re-packs the live nodes into the next topology kind up the
+/// contention-attenuation ladder, under live traffic, certified by the
+/// installed repair certifier — the paper's static attenuation result made
+/// adaptive.
+///
+/// Disabled by default; a disabled config schedules no serve events and
+/// leaves every timing decision byte-identical to a closed-system run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Master switch. `false` (the default) leaves the closed-system
+    /// timeline untouched.
+    pub enabled: bool,
+    /// Per-client offered-load curve.
+    pub arrivals: ArrivalProcess,
+    /// Arrivals stop at this instant; the run then drains admitted work.
+    pub horizon: SimTime,
+    /// Per-client in-flight bound: arrivals beyond it are shed.
+    pub queue_cap: u32,
+    /// Retransmissions allowed per client across the whole run (a *budget*,
+    /// not a per-op cap): exhausted clients fail timed-out requests
+    /// immediately instead of amplifying load.
+    pub retry_budget: u32,
+    /// Shed fraction (sheds / arrivals per tick window) above which the
+    /// metastability guard suppresses retransmissions.
+    pub guard_threshold: f64,
+    /// Detector tick period for the guard and the skew detector.
+    pub tick: SimTime,
+    /// Rank hosting the shared fetch-&-add counter every request targets.
+    pub hot_rank: u32,
+    /// Enable load-triggered topology re-packing via membership epochs.
+    pub load_repack: bool,
+    /// CHT queue-depth skew (max/mean over live nodes) that counts a tick
+    /// as skewed.
+    pub skew_threshold: f64,
+    /// Consecutive skewed ticks required before committing a re-pack epoch.
+    pub skew_ticks: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            enabled: false,
+            arrivals: ArrivalProcess::steady(1_000.0),
+            horizon: SimTime::from_millis(10),
+            queue_cap: 4,
+            retry_budget: 16,
+            guard_threshold: 0.5,
+            tick: SimTime::from_micros(250),
+            hot_rank: 0,
+            load_repack: false,
+            skew_threshold: 4.0,
+            skew_ticks: 3,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A policy with serving switched on and the default overload controls.
+    pub fn on(arrivals: ArrivalProcess, horizon: SimTime) -> Self {
+        ServeConfig {
+            enabled: true,
+            arrivals,
+            horizon,
+            ..ServeConfig::default()
+        }
+    }
+}
+
 /// Full configuration of a simulated ARMCI job.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -283,6 +410,8 @@ pub struct RuntimeConfig {
     /// Membership / failure-detection policy for permanent node loss (off
     /// by default; only consulted when a fault plan is installed).
     pub membership: MembershipConfig,
+    /// Open-system serving policy (off by default).
+    pub serve: ServeConfig,
 }
 
 impl RuntimeConfig {
@@ -308,6 +437,7 @@ impl RuntimeConfig {
             retry: RetryConfig::default(),
             coalesce: CoalesceConfig::default(),
             membership: MembershipConfig::default(),
+            serve: ServeConfig::default(),
         }
     }
 
@@ -356,6 +486,41 @@ impl RuntimeConfig {
                 self.membership.phi_threshold > 0.0,
                 "phi threshold must be positive"
             );
+        }
+        if self.serve.enabled {
+            self.serve.arrivals.validate();
+            assert!(
+                self.serve.horizon > SimTime::ZERO,
+                "serve horizon must be positive"
+            );
+            assert!(
+                self.serve.queue_cap >= 1,
+                "admission queue cap must be at least 1"
+            );
+            assert!(
+                self.serve.tick > SimTime::ZERO,
+                "serve tick must be positive"
+            );
+            assert!(
+                self.serve.hot_rank < self.n_procs,
+                "hot rank {} out of range for {} procs",
+                self.serve.hot_rank,
+                self.n_procs
+            );
+            assert!(
+                self.serve.guard_threshold > 0.0 && self.serve.guard_threshold <= 1.0,
+                "guard threshold must be in (0, 1]"
+            );
+            if self.serve.load_repack {
+                assert!(
+                    self.serve.skew_threshold > 1.0,
+                    "skew threshold must exceed 1"
+                );
+                assert!(
+                    self.serve.skew_ticks >= 1,
+                    "need at least one skewed tick to trigger a re-pack"
+                );
+            }
         }
     }
 }
@@ -444,5 +609,79 @@ mod tests {
         let fadd = c.service_time(&Op::fetch_add(Rank(0), 1));
         assert!(fadd >= c.base + c.atomic_extra);
         assert!(fadd < SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_in_bounds_and_is_capped() {
+        let r = RetryConfig::default();
+        let mut rng = DetRng::new(7);
+        let mut prev = r.timeout;
+        for _ in 0..64 {
+            let d = r.decorrelated(prev, &mut rng);
+            assert!(d >= r.timeout, "jitter below the base timeout: {d:?}");
+            assert!(d <= r.jitter_cap.max(r.timeout), "jitter above cap: {d:?}");
+            prev = d;
+        }
+        // Once prev saturates the cap the draw stays within [timeout, cap].
+        let d = r.decorrelated(r.jitter_cap, &mut rng);
+        assert!(d >= r.timeout && d <= r.jitter_cap);
+    }
+
+    #[test]
+    fn decorrelated_jitter_is_deterministic_per_stream() {
+        let r = RetryConfig::default();
+        let a: Vec<SimTime> = {
+            let mut rng = DetRng::new(99);
+            (0..16)
+                .map(|_| r.decorrelated(r.timeout * 4, &mut rng))
+                .collect()
+        };
+        let b: Vec<SimTime> = {
+            let mut rng = DetRng::new(99);
+            (0..16)
+                .map(|_| r.decorrelated(r.timeout * 4, &mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+        // A degenerate upper bound collapses to the plain timeout.
+        let tight = RetryConfig {
+            jitter_cap: SimTime::ZERO, // cap clamps up to timeout
+            ..RetryConfig::default()
+        };
+        let mut rng = DetRng::new(1);
+        assert_eq!(tight.decorrelated(tight.timeout, &mut rng), tight.timeout);
+    }
+
+    #[test]
+    fn serve_defaults_off_and_validates_when_on() {
+        let cfg = RuntimeConfig::new(16, TopologyKind::Mfcg);
+        assert!(!cfg.serve.enabled);
+        assert!(!cfg.retry.jitter);
+        cfg.validate();
+        let mut on = cfg;
+        on.serve = ServeConfig::on(
+            ArrivalProcess::flash_crowd(
+                1000.0,
+                8.0,
+                SimTime::from_millis(1),
+                SimTime::from_millis(2),
+            ),
+            SimTime::from_millis(5),
+        );
+        on.validate();
+        on.serve.hot_rank = 16; // out of range
+        assert!(std::panic::catch_unwind(|| on.validate()).is_err());
+        on.serve.hot_rank = 0;
+        on.serve.guard_threshold = 0.0;
+        assert!(std::panic::catch_unwind(|| on.validate()).is_err());
+        on.serve.guard_threshold = 0.5;
+        on.serve.load_repack = true;
+        on.serve.skew_threshold = 1.0;
+        assert!(std::panic::catch_unwind(|| on.validate()).is_err());
+        on.serve.skew_threshold = 4.0;
+        on.serve.skew_ticks = 0;
+        assert!(std::panic::catch_unwind(|| on.validate()).is_err());
+        on.serve.skew_ticks = 3;
+        on.validate();
     }
 }

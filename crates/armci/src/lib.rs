@@ -36,6 +36,15 @@
 //!   acyclic, and unrecoverable operations degrade gracefully into
 //!   [`SimError::Unreachable`] / [`SimError::TimedOut`] diagnostics plus
 //!   [`FaultStats`] counters instead of hanging the job.
+//! * **Open-system serving** ([`ServeConfig`]) — optionally, ranks double
+//!   as serving clients fed by deterministic arrival processes
+//!   ([`ArrivalProcess`]): bounded admission queues shed excess load as
+//!   typed [`SimError::Overloaded`] diagnostics, retransmissions draw
+//!   capped decorrelated jitter under per-client retry budgets, a
+//!   metastability guard suppresses retry storms past saturation, and a
+//!   sustained hot-spot skew can commit a live epoch re-pack onto a
+//!   higher-attenuation topology kind. Off by default and byte-for-byte
+//!   free when off.
 //! * **Measurement** ([`metrics`], [`memory`]) — per-rank latency series
 //!   (Figs. 6/7), runtime memory accounting (Fig. 5) and network/CHT
 //!   counters.
@@ -66,16 +75,20 @@ pub mod sim;
 pub mod trace;
 pub mod workload;
 
-pub use config::{ChtConfig, CoalesceConfig, MembershipConfig, RetryConfig, RuntimeConfig};
+pub use config::{
+    ChtConfig, CoalesceConfig, MembershipConfig, RetryConfig, RuntimeConfig, ServeConfig,
+};
 pub use engine::{forward_decision, RepairCertifier, Report, SimError};
 pub use ids::{NodeId, Rank, Sender};
 pub use layout::Layout;
 pub use memory::{node_memory, NodeMemory};
-pub use metrics::{CoalesceStats, FaultStats, Metrics, OpRecord, RankStats, RepairStats};
+pub use metrics::{
+    CoalesceStats, FaultStats, Metrics, OpRecord, RankStats, RepairStats, ServeStats,
+};
 pub use ops::{Op, OpKind};
 pub use sim::Simulation;
 pub use workload::{Action, ClosureProgram, IdleProgram, ProcCtx, Program, ScriptProgram};
 
 // Re-exported so workloads don't need a direct vt-simnet dependency for
-// time arithmetic or fault scheduling.
-pub use vt_simnet::{FaultPlan, SimTime};
+// time arithmetic, fault scheduling or arrival-process construction.
+pub use vt_simnet::{ArrivalKind, ArrivalProcess, FaultPlan, LoadPhase, SimTime};

@@ -61,6 +61,7 @@ pub fn write_fault_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()
         ("reclaims", f.reclaims),
         ("unreachable", f.unreachable),
         ("failed_ops", f.failed_ops),
+        ("sheds", f.sheds),
         ("lost_ranks", report.lost_ranks.len() as u64),
     ] {
         writeln!(w, "{name},{value}")?;
@@ -68,9 +69,9 @@ pub fn write_fault_summary<W: Write>(report: &Report, mut w: W) -> io::Result<()
     writeln!(w, "availability,{:.6}", report.availability())?;
     for err in &report.failures {
         let rank = match err {
-            crate::SimError::Unreachable { rank, .. } | crate::SimError::TimedOut { rank, .. } => {
-                rank.0
-            }
+            crate::SimError::Unreachable { rank, .. }
+            | crate::SimError::TimedOut { rank, .. }
+            | crate::SimError::Overloaded { rank, .. } => rank.0,
             crate::SimError::Deadlock { .. } => u32::MAX,
         };
         writeln!(w, "failure,{rank},{err}")?;

@@ -50,6 +50,9 @@ pub struct BenchOpts {
     pub sizes: Vec<u32>,
     /// Topologies to measure.
     pub topologies: Vec<TopologyKind>,
+    /// Also measure the open-system serving cell (the frozen flash-crowd
+    /// scenario at 1024 ranks).
+    pub serve: bool,
 }
 
 impl BenchOpts {
@@ -60,6 +63,7 @@ impl BenchOpts {
             repeats: 8,
             sizes: vec![1024, 4096, 16384],
             topologies: TOPOLOGIES.to_vec(),
+            serve: true,
         }
     }
 
@@ -70,6 +74,7 @@ impl BenchOpts {
             repeats: 5,
             sizes: vec![1024],
             topologies: TOPOLOGIES.to_vec(),
+            serve: true,
         }
     }
 }
@@ -85,6 +90,11 @@ pub const TOPOLOGIES: [TopologyKind; 4] = [
 /// One measured cell of the trajectory.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchCell {
+    /// Workload tag: `"closed"` for the frozen hot-spot fetch-add cells,
+    /// `"serve"` for the open-system flash-crowd cell. Part of the cell's
+    /// identity in the regression gate, so the serving cell can share a
+    /// (topology, population) pair with a closed cell without colliding.
+    pub workload: &'static str,
     /// Topology under test.
     pub topology: TopologyKind,
     /// Simulated processes.
@@ -190,6 +200,7 @@ pub fn measure_cell(
         best = best.min(wall);
     }
     Ok(BenchCell {
+        workload: "closed",
         topology,
         n_procs,
         events,
@@ -197,16 +208,60 @@ pub fn measure_cell(
     })
 }
 
+/// One timed run of the frozen open-system serving workload — the
+/// flash-crowd preset (1024 ranks over MFCG, a 10× offered-load spike past
+/// the hot CHT's saturation point); returns (events, wall). Times the
+/// serving machinery itself: arrival generation, admission shedding,
+/// jittered retransmission and the metastability guard.
+///
+/// # Errors
+/// Returns [`BenchError::Run`] when the simulation ends abnormally.
+pub fn serve_flash_once() -> Result<(u64, f64), BenchError> {
+    let cfg = vt_apps::ServeScenarioConfig::flash_crowd().runtime_config();
+    let sim = Simulation::build(cfg, |_| ScriptProgram::new(vec![]));
+    let t0 = Instant::now();
+    let report = sim
+        .run()
+        .map_err(|e| BenchError::Run(format!("serve flash-crowd: {e}")))?;
+    Ok((report.events, t0.elapsed().as_secs_f64()))
+}
+
+/// Measures the serving cell: best wall time over `repeats` runs.
+///
+/// # Errors
+/// Returns [`BenchError::Run`] when any repeat ends abnormally.
+pub fn measure_serve_cell(repeats: u32) -> Result<BenchCell, BenchError> {
+    let scenario = vt_apps::ServeScenarioConfig::flash_crowd();
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..repeats.max(1) {
+        let (ev, wall) = serve_flash_once()?;
+        events = ev;
+        best = best.min(wall);
+    }
+    Ok(BenchCell {
+        workload: "serve",
+        topology: scenario.topology,
+        n_procs: scenario.n_procs(),
+        events,
+        best_wall_s: best,
+    })
+}
+
 /// Runs the whole measurement. Cells come from the sweep grid (topology ×
-/// size, protocol toggles off) and run serially in grid order.
+/// size, protocol toggles off) and run serially in grid order; the serving
+/// cell, when enabled, runs last.
 ///
 /// # Errors
 /// Returns [`BenchError::Run`] when any cell's simulation ends abnormally.
 pub fn run(opts: &BenchOpts) -> Result<BenchReport, BenchError> {
     let cells = grid(&opts.topologies, &opts.sizes, PPN, &[false], &[false]);
-    let mut measured = Vec::with_capacity(cells.len());
+    let mut measured = Vec::with_capacity(cells.len() + 1);
     for c in &cells {
         measured.push(measure_cell(c.topology, c.n_procs, opts.repeats)?);
+    }
+    if opts.serve {
+        measured.push(measure_serve_cell(opts.repeats)?);
     }
     Ok(BenchReport {
         quick: opts.quick,
@@ -218,8 +273,9 @@ pub fn run(opts: &BenchOpts) -> Result<BenchReport, BenchError> {
 /// Renders one cell as a JSON object (one line, stable key order).
 fn cell_json(c: &BenchCell) -> String {
     format!(
-        "{{\"topology\":\"{}\",\"n_procs\":{},\"events\":{},\
+        "{{\"workload\":\"{}\",\"topology\":\"{}\",\"n_procs\":{},\"events\":{},\
          \"best_wall_s\":{:.6},\"events_per_sec\":{:.0}}}",
+        c.workload,
         c.topology.name(),
         c.n_procs,
         c.events,
@@ -235,8 +291,9 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self.cells.iter().map(cell_json).collect();
         format!(
-            "{{\n  \"schema\": 1,\n  \"workload\": \"hot-spot fetch-add: every rank off node 0 \
-             issues {} blocking fetch-adds to rank 0; ppn={}; seed=0xBE7C^n_procs\",\n  \
+            "{{\n  \"schema\": 1,\n  \"workload\": \"closed cells: hot-spot fetch-add, every \
+             rank off node 0 issues {} blocking fetch-adds to rank 0; ppn={}; \
+             seed=0xBE7C^n_procs. serve cells: the frozen open-system flash-crowd scenario\",\n  \
              \"protocol\": \"events/sec = report.events / best wall time of {} serial repeats \
              of Simulation::run\",\n  \"quick\": {},\n  \"cells\": [\n    {}\n  ]\n}}\n",
             OPS_PER_RANK,
@@ -250,13 +307,14 @@ impl BenchReport {
     /// Renders a human-readable summary table.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "simulator throughput (hot-spot fetch-add, best of {} runs)\n\
-             {:<10} {:>8} {:>12} {:>12} {:>14}\n",
-            self.repeats, "topology", "procs", "events", "wall (s)", "events/sec"
+            "simulator throughput (best of {} runs)\n\
+             {:<8} {:<10} {:>8} {:>12} {:>12} {:>14}\n",
+            self.repeats, "workload", "topology", "procs", "events", "wall (s)", "events/sec"
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<10} {:>8} {:>12} {:>12.4} {:>14.0}\n",
+                "{:<8} {:<10} {:>8} {:>12} {:>12.4} {:>14.0}\n",
+                c.workload,
                 c.topology.name(),
                 c.n_procs,
                 c.events,
@@ -269,14 +327,15 @@ impl BenchReport {
 }
 
 /// Extracts the top-level `"cells"` array of a trajectory document as
-/// `(topology, n_procs, events_per_sec)` triples. A hand-rolled scanner —
-/// the build is offline and the document shape is ours — that tolerates
-/// the extra keys (`baseline`, `history`) the committed file carries.
+/// `(workload, topology, n_procs, events_per_sec)` tuples. A hand-rolled
+/// scanner — the build is offline and the document shape is ours — that
+/// tolerates the extra keys (`baseline`, `history`) the committed file
+/// carries. Cells predating the workload tag parse as `"closed"`.
 ///
 /// # Errors
 /// Returns [`BenchError::Baseline`] when the document has no well-formed
 /// top-level `"cells"` array.
-pub fn parse_cells(doc: &str) -> Result<Vec<(String, u32, f64)>, BenchError> {
+pub fn parse_cells(doc: &str) -> Result<Vec<(String, String, u32, f64)>, BenchError> {
     let start = doc
         .find("\"cells\":")
         .ok_or_else(|| BenchError::Baseline("no \"cells\" key".into()))?;
@@ -308,10 +367,11 @@ pub fn parse_cells(doc: &str) -> Result<Vec<(String, u32, f64)>, BenchError> {
         &body[..end.ok_or_else(|| BenchError::Baseline("unterminated cells array".into()))?];
     let mut cells = Vec::new();
     for obj in body.split('{').skip(1) {
+        let workload = json_str(obj, "workload").unwrap_or_else(|_| "closed".to_string());
         let topology = json_str(obj, "topology")?;
         let n_procs = json_num(obj, "n_procs")? as u32;
         let eps = json_num(obj, "events_per_sec")?;
-        cells.push((topology, n_procs, eps));
+        cells.push((workload, topology, n_procs, eps));
     }
     Ok(cells)
 }
@@ -343,10 +403,10 @@ fn json_num(obj: &str, key: &str) -> Result<f64, BenchError> {
 }
 
 /// Compares a fresh measurement against the committed trajectory: every
-/// fresh cell with a matching `(topology, n_procs)` baseline cell must
-/// reach at least `100 - max_regression_pct` percent of the committed
-/// events/sec. Cells without a baseline counterpart pass (a new size
-/// extends the trajectory; it cannot regress it).
+/// fresh cell with a matching `(workload, topology, n_procs)` baseline
+/// cell must reach at least `100 - max_regression_pct` percent of the
+/// committed events/sec. Cells without a baseline counterpart pass (a new
+/// size or workload extends the trajectory; it cannot regress it).
 ///
 /// Returns the rendered comparison table.
 ///
@@ -360,21 +420,22 @@ pub fn check_regression(
 ) -> Result<String, BenchError> {
     let baseline = parse_cells(baseline_doc)?;
     let mut table = format!(
-        "{:<10} {:>8} {:>14} {:>14} {:>8}\n",
-        "topology", "procs", "baseline eps", "now eps", "ratio"
+        "{:<8} {:<10} {:>8} {:>14} {:>14} {:>8}\n",
+        "workload", "topology", "procs", "baseline eps", "now eps", "ratio"
     );
     let mut failures = Vec::new();
     for c in &fresh.cells {
-        let Some(&(_, _, base_eps)) = baseline
+        let Some(&(_, _, _, base_eps)) = baseline
             .iter()
-            .find(|(t, n, _)| *t == c.topology.name() && *n == c.n_procs)
+            .find(|(w, t, n, _)| *w == c.workload && *t == c.topology.name() && *n == c.n_procs)
         else {
             continue;
         };
         let now = c.events_per_sec();
         let ratio = if base_eps > 0.0 { now / base_eps } else { 1.0 };
         table.push_str(&format!(
-            "{:<10} {:>8} {:>14.0} {:>14.0} {:>8.2}\n",
+            "{:<8} {:<10} {:>8} {:>14.0} {:>14.0} {:>8.2}\n",
+            c.workload,
             c.topology.name(),
             c.n_procs,
             base_eps,
@@ -383,7 +444,8 @@ pub fn check_regression(
         ));
         if ratio < 1.0 - max_regression_pct / 100.0 {
             failures.push(format!(
-                "{}/{}: {:.0} events/sec vs committed {:.0} ({:.0}% of baseline)",
+                "{}/{}/{}: {:.0} events/sec vs committed {:.0} ({:.0}% of baseline)",
+                c.workload,
                 c.topology.name(),
                 c.n_procs,
                 now,
@@ -419,6 +481,7 @@ mod tests {
 
     fn cell(topology: TopologyKind, n_procs: u32, eps: f64) -> BenchCell {
         BenchCell {
+            workload: "closed",
             topology,
             n_procs,
             events: eps as u64, // 1 second wall → events == eps
@@ -428,18 +491,47 @@ mod tests {
 
     #[test]
     fn json_roundtrips_through_parse_cells() {
-        let r = report(vec![
-            cell(TopologyKind::Fcg, 1024, 5_000_000.0),
-            cell(TopologyKind::Hypercube, 4096, 7_500_000.0),
-        ]);
+        let mut serve = cell(TopologyKind::Hypercube, 4096, 7_500_000.0);
+        serve.workload = "serve";
+        let r = report(vec![cell(TopologyKind::Fcg, 1024, 5_000_000.0), serve]);
         let parsed = parse_cells(&r.to_json()).unwrap();
         assert_eq!(
             parsed,
             vec![
-                ("fcg".to_string(), 1024, 5_000_000.0),
-                ("hypercube".to_string(), 4096, 7_500_000.0),
+                ("closed".to_string(), "fcg".to_string(), 1024, 5_000_000.0),
+                (
+                    "serve".to_string(),
+                    "hypercube".to_string(),
+                    4096,
+                    7_500_000.0
+                ),
             ]
         );
+    }
+
+    #[test]
+    fn cells_without_workload_tag_parse_as_closed() {
+        // The pre-serving committed trajectory carries no workload key.
+        let doc = r#"{"cells": [
+    {"topology":"fcg","n_procs":1024,"events":10,"best_wall_s":1.0,"events_per_sec":10}
+  ]}"#;
+        let parsed = parse_cells(doc).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("closed".to_string(), "fcg".to_string(), 1024, 10.0)]
+        );
+    }
+
+    #[test]
+    fn serve_cell_shares_population_with_closed_cell_without_colliding() {
+        // Fresh serve cell at (mfcg, 1024) — same pair as a committed
+        // closed cell with much higher events/sec. Matching by workload
+        // means no baseline counterpart → no false regression.
+        let mut fresh_serve = cell(TopologyKind::Mfcg, 1024, 100.0);
+        fresh_serve.workload = "serve";
+        let fresh = report(vec![fresh_serve]);
+        let committed = report(vec![cell(TopologyKind::Mfcg, 1024, 10_000_000.0)]).to_json();
+        assert!(check_regression(&fresh, &committed, 20.0).is_ok());
     }
 
     #[test]
@@ -459,7 +551,10 @@ mod tests {
   }
 }"#;
         let parsed = parse_cells(doc).unwrap();
-        assert_eq!(parsed, vec![("fcg".to_string(), 1024, 10.0)]);
+        assert_eq!(
+            parsed,
+            vec![("closed".to_string(), "fcg".to_string(), 1024, 10.0)]
+        );
     }
 
     #[test]
@@ -501,6 +596,16 @@ mod tests {
         let c = measure_cell(TopologyKind::Mfcg, 64, 1).unwrap();
         assert!(c.events > 0);
         assert!(c.best_wall_s > 0.0);
+        assert!(c.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn serve_cell_measures_the_flash_crowd() {
+        let c = measure_serve_cell(1).unwrap();
+        assert_eq!(c.workload, "serve");
+        assert_eq!(c.topology, TopologyKind::Mfcg);
+        assert_eq!(c.n_procs, 1024);
+        assert!(c.events > 0);
         assert!(c.events_per_sec() > 0.0);
     }
 

@@ -16,6 +16,9 @@
 //! * [`Network`] — the façade that reserves NIC and link time for a message
 //!   and returns its delivery time,
 //! * [`DetRng`] and [`stats`] — seeded randomness and summary statistics,
+//! * [`ArrivalProcess`] — deterministic open-system arrival generators
+//!   (steady / diurnal / flash-crowd offered-load curves) for serving-mode
+//!   workloads,
 //! * [`FaultPlan`] — a deterministic schedule of node crashes, link
 //!   degradation/failure and transient message loss, interpreted by
 //!   [`Network::send_faulted`](net::Network::send_faulted); an empty plan
@@ -36,6 +39,7 @@
 // valid configuration must return a typed outcome instead. Test modules
 // are exempt wholesale.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
+pub mod arrivals;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -48,6 +52,7 @@ pub mod stats;
 pub mod time;
 pub mod torus;
 
+pub use arrivals::{ArrivalGen, ArrivalKind, ArrivalProcess, LoadPhase};
 pub use config::NetworkConfig;
 pub use engine::{BaselineEventQueue, EventQueue};
 pub use fault::{DropReason, DropWindow, FaultPlan, LinkFault, LinkMode, NodeCrash};

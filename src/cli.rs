@@ -12,6 +12,7 @@ use vt_apps::lu::LuConfig;
 use vt_apps::nwchem_ccsd::CcsdConfig;
 use vt_apps::nwchem_dft::DftConfig;
 use vt_apps::repair::{RepairOutcome, RepairScenarioConfig};
+use vt_apps::serve::{CurvePoint, ServeOutcome, ServeScenarioConfig};
 use vt_apps::Table;
 use vt_armci::{CoalesceConfig, OpKind};
 use vt_core::{analyze, DependencyGraph, MemoryModel, RequestTree, TopologyKind, VirtualTopology};
@@ -163,8 +164,21 @@ pub fn usage() -> String {
                    complete the workload via epoch re-packing; exits\n\
                    non-zero unless every run completes with zero credit\n\
                    leaks and a certified post-repair topology\n\
+       serve       [--preset flash-crowd|steady|load-repack] [--topology K]\n\
+                   [--nodes N] [--ppn P] [--rate R] [--peak X]\n\
+                   [--horizon-us H] [--queue-cap Q] [--retry-budget B]\n\
+                   [--retry-timeout-us 5000]\n\
+                   [--guard 0.5] [--tick-us 250] [--load-repack on|off]\n\
+                   [--curve 0.5,1,2,4] [--format human|json]\n\
+                   open-system overload experiment: deterministic arrival\n\
+                   processes drive every rank as a serving client past the\n\
+                   hot CHT's saturation point; reports shed/goodput/latency\n\
+                   percentiles (and the goodput-vs-offered-load curve with\n\
+                   --curve); exits non-zero unless the exactly-once ledger\n\
+                   balances with zero credit leaks\n\
        bench       [--quick] [--repeats N] [--sizes 1024,4096,16384]\n\
-                   [--topologies fcg,mfcg,cfcg,hypercube] [--out PATH]\n\
+                   [--topologies fcg,mfcg,cfcg,hypercube] [--serve on|off]\n\
+                   [--out PATH]\n\
                    [--baseline BENCH_sim.json] [--max-regression-pct 50]\n\
                    simulator-core throughput on the frozen hot-spot\n\
                    workload; emits the BENCH_sim.json trajectory document\n\
@@ -599,6 +613,94 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
             }
             out
         }
+        "serve" => {
+            let format = flags.take("format", "human".to_string())?;
+            if format != "human" && format != "json" {
+                return Err(format!(
+                    "invalid value for --format: '{format}' (human|json)"
+                ));
+            }
+            let preset = flags.take("preset", "flash-crowd".to_string())?;
+            let base = match preset.as_str() {
+                "flash-crowd" | "flash" => ServeScenarioConfig::flash_crowd(),
+                "steady" => ServeScenarioConfig::steady_small(),
+                "load-repack" | "repack" => ServeScenarioConfig::load_repack_hotspot(),
+                other => {
+                    return Err(format!(
+                        "unknown preset '{other}' (flash-crowd|steady|load-repack)"
+                    ))
+                }
+            };
+            let mut cfg = base;
+            cfg.topology = flags.take_topology(base.topology)?;
+            cfg.nodes = flags.take("nodes", base.nodes)?;
+            cfg.ppn = flags.take("ppn", base.ppn)?;
+            cfg.arrivals.rate_per_sec = flags.take("rate", base.arrivals.rate_per_sec)?;
+            cfg.arrivals.peak = flags.take("peak", base.arrivals.peak)?;
+            let horizon_us: u64 = flags.take("horizon-us", base.horizon.as_nanos() / 1000)?;
+            cfg.horizon = vt_armci::SimTime::from_micros(horizon_us);
+            cfg.queue_cap = flags.take("queue-cap", base.queue_cap)?;
+            cfg.retry_budget = flags.take("retry-budget", base.retry_budget)?;
+            let retry_timeout_us: u64 =
+                flags.take("retry-timeout-us", base.retry_timeout.as_nanos() / 1000)?;
+            cfg.retry_timeout = vt_armci::SimTime::from_micros(retry_timeout_us);
+            cfg.guard_threshold = flags.take("guard", base.guard_threshold)?;
+            let tick_us: u64 = flags.take("tick-us", base.tick.as_nanos() / 1000)?;
+            cfg.tick = vt_armci::SimTime::from_micros(tick_us);
+            cfg.load_repack = match flags
+                .take(
+                    "load-repack",
+                    if base.load_repack { "on" } else { "off" }.to_string(),
+                )?
+                .as_str()
+            {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(format!(
+                        "invalid value for --load-repack: '{other}' (on|off)"
+                    ))
+                }
+            };
+            let curve_spec = flags.take("curve", String::new())?;
+            flags.finish()?;
+            if !cfg.topology.supports(cfg.nodes) {
+                return Err(format!(
+                    "{} does not support {} nodes",
+                    cfg.topology.name(),
+                    cfg.nodes
+                ));
+            }
+            let factors = curve_spec
+                .split(',')
+                .filter(|v| !v.is_empty())
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("invalid factor '{v}' in --curve"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            let o = vt_apps::serve::run(&cfg);
+            let ok = o.exactly_once && o.credit_leaks == 0;
+            let points = if factors.is_empty() {
+                Vec::new()
+            } else {
+                vt_apps::serve::curve(&cfg, &factors)
+            };
+            let mut out = if format == "json" {
+                serve_json(&cfg, &o, &points)
+            } else {
+                let mut s = vt_apps::serve::render(&cfg, &o);
+                if !points.is_empty() {
+                    s.push_str(&render_serve_curve(&points));
+                }
+                s
+            };
+            if !ok {
+                out = format!("serve experiment FAILED (ledger or credit invariant)\n{out}");
+                return Err(out);
+            }
+            out
+        }
         "bench" => {
             let quick = match flags.take("quick", "off".to_string())?.as_str() {
                 "on" => true,
@@ -611,6 +713,14 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 vt_bench::throughput::BenchOpts::full()
             };
             opts.repeats = flags.take("repeats", opts.repeats)?;
+            opts.serve = match flags
+                .take("serve", if opts.serve { "on" } else { "off" }.to_string())?
+                .as_str()
+            {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --serve: '{other}' (on|off)")),
+            };
             let sizes = flags.take("sizes", String::new())?;
             if !sizes.is_empty() {
                 opts.sizes = sizes
@@ -788,6 +898,77 @@ fn repair_json(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
         r.probes,
         r.fallback_depth,
         r.final_epoch,
+    )
+}
+
+/// Human rendering of the goodput-vs-offered-load curve.
+fn render_serve_curve(points: &[CurvePoint]) -> String {
+    let mut s = String::from("goodput vs offered load:\n");
+    for p in points {
+        s.push_str(&format!(
+            "  x{:<5} offered {:>9.0}/s  goodput {:>9.0}/s  shed {:5.1}%  p99 {:.1} us\n",
+            p.factor,
+            p.offered_per_sec,
+            p.goodput_per_sec,
+            p.shed_frac * 100.0,
+            p.p99_us,
+        ));
+    }
+    s
+}
+
+/// Hand-rolled JSON document for one serving run (plus optional curve).
+fn serve_json(cfg: &ServeScenarioConfig, o: &ServeOutcome, points: &[CurvePoint]) -> String {
+    let repack_kind = match o.repack_kind {
+        Some(k) => format!("\"{}\"", k.name()),
+        None => "null".to_string(),
+    };
+    let curve = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"factor\":{},\"offered_per_sec\":{:.3},\"goodput_per_sec\":{:.3},\
+                 \"shed_frac\":{:.6},\"p99_us\":{:.3}}}",
+                p.factor, p.offered_per_sec, p.goodput_per_sec, p.shed_frac, p.p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"topology\":\"{}\",\"nodes\":{},\"ppn\":{},\"arrivals_kind\":\"{}\",\
+         \"arrivals\":{},\"admitted\":{},\"sheds\":{},\"completed\":{},\"gave_up\":{},\
+         \"retries\":{},\"shed_retries\":{},\"guard_trips\":{},\
+         \"offered_per_sec\":{:.3},\"goodput_per_sec\":{:.3},\
+         \"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
+         \"exec_seconds\":{:.9},\"credit_leaks\":{},\"dedup_hits\":{},\
+         \"hot_final\":{},\"exactly_once\":{},\"load_repacks\":{},\
+         \"repack_kind\":{repack_kind},\"repack_certified\":{},\
+         \"epoch_bumps\":{},\"curve\":[{curve}]}}\n",
+        cfg.topology.name(),
+        cfg.nodes,
+        cfg.ppn,
+        cfg.arrivals.kind.name(),
+        o.arrivals,
+        o.admitted,
+        o.sheds,
+        o.completed,
+        o.gave_up,
+        o.retries,
+        o.shed_retries,
+        o.guard_trips,
+        o.offered_per_sec,
+        o.goodput_per_sec,
+        o.p50_us,
+        o.p99_us,
+        o.p999_us,
+        o.exec_seconds,
+        o.credit_leaks,
+        o.dedup_hits,
+        o.hot_final,
+        o.exactly_once,
+        o.load_repacks,
+        o.repack_certified,
+        o.epoch_bumps,
     )
 }
 
@@ -1148,6 +1329,78 @@ mod tests {
             run_command("repair", &s(&["--nodes", "23", "--victim", "99"]))
                 .unwrap_err()
                 .contains("victim")
+        );
+    }
+
+    #[test]
+    fn serve_command_runs_steady_preset() {
+        let out = run_command("serve", &s(&["--preset", "steady"])).unwrap();
+        assert!(
+            out.contains("serve fcg n=2 ppn=4 (8 procs), steady arrivals"),
+            "{out}"
+        );
+        assert!(out.contains("exactly-once HOLDS"), "{out}");
+        assert!(out.contains("0 credit leaks"), "{out}");
+        assert!(out.contains("latency: p50"), "{out}");
+    }
+
+    #[test]
+    fn serve_command_sheds_past_saturation_and_is_deterministic() {
+        // A scaled-down flash crowd: 32 clients, 10x spike, json output.
+        let args = s(&[
+            "--preset",
+            "flash-crowd",
+            "--nodes",
+            "16",
+            "--ppn",
+            "2",
+            "--rate",
+            "60000",
+            "--horizon-us",
+            "4000",
+            "--format",
+            "json",
+        ]);
+        let a = run_command("serve", &args).unwrap();
+        let b = run_command("serve", &args).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"arrivals_kind\":\"flash-crowd\""), "{a}");
+        assert!(a.contains("\"exactly_once\":true"), "{a}");
+        assert!(a.contains("\"credit_leaks\":0"), "{a}");
+        assert!(!a.contains("\"sheds\":0,"), "overload cell must shed: {a}");
+    }
+
+    #[test]
+    fn serve_command_renders_goodput_curve() {
+        let out = run_command("serve", &s(&["--preset", "steady", "--curve", "1,8"])).unwrap();
+        assert!(out.contains("goodput vs offered load:"), "{out}");
+        assert_eq!(out.matches("  x").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn serve_command_load_repack_certifies_epoch() {
+        let out = run_command("serve", &s(&["--preset", "load-repack"])).unwrap();
+        assert!(
+            out.contains("load re-pack: fcg -> mfcg committed under traffic (epoch 1), CERTIFIED"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_command_rejects_bad_flags() {
+        assert!(run_command("serve", &s(&["--preset", "surge"]))
+            .unwrap_err()
+            .contains("preset"));
+        assert!(run_command("serve", &s(&["--load-repack", "maybe"]))
+            .unwrap_err()
+            .contains("--load-repack"));
+        assert!(run_command("serve", &s(&["--curve", "fast"]))
+            .unwrap_err()
+            .contains("--curve"));
+        assert!(
+            run_command("serve", &s(&["--topology", "hc", "--nodes", "97"]))
+                .unwrap_err()
+                .contains("does not support")
         );
     }
 
