@@ -21,7 +21,7 @@ use vt_core::FxHashMap;
 /// downstream server has dealt with every member. Coalescing therefore only
 /// ever *reduces* the credits in flight on an edge — it cannot introduce
 /// buffer-dependency cycles the uncoalesced LDF order did not have.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CreditKey {
     /// Who sends.
     pub sender: Sender,
@@ -182,18 +182,28 @@ impl CreditManager {
     }
 
     /// Every account with its current in-flight count, including zeroed
-    /// accounts that were touched earlier in the run. Introspection hook
-    /// for end-of-run credit-leak accounting (`Report::credit_leaks`) and
-    /// the `vt-analyze` model checker's zero-leak property.
-    pub fn accounts(&self) -> impl Iterator<Item = (&CreditKey, u32)> {
-        self.in_flight.iter().map(|(k, &v)| (k, v))
+    /// accounts that were touched earlier in the run, in ascending
+    /// `CreditKey` order. Introspection hook for end-of-run credit-leak
+    /// accounting (`Report::credit_leaks`) and the `vt-analyze` model
+    /// checker's zero-leak property — sorted so the hook never leaks the
+    /// hash table's insertion-history order to a consumer (vt-lint D1).
+    pub fn accounts(&self) -> Vec<(CreditKey, u32)> {
+        let mut v: Vec<(CreditKey, u32)> = self.in_flight.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
     }
 
-    /// All currently blocked waiters (for deadlock diagnostics).
-    pub fn blocked(&self) -> impl Iterator<Item = (&CreditKey, &Waiter)> {
-        self.waiters
+    /// All currently blocked waiters (for deadlock diagnostics), in
+    /// ascending account order; waiters within one account keep their
+    /// FIFO queue order.
+    pub fn blocked(&self) -> Vec<(CreditKey, Waiter)> {
+        let mut v: Vec<(CreditKey, Waiter)> = self
+            .waiters
             .iter()
-            .flat_map(|(k, q)| q.iter().map(move |w| (k, w)))
+            .flat_map(|(&k, q)| q.iter().map(move |&w| (k, w)))
+            .collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
     }
 
     /// Number of blocked waiters.

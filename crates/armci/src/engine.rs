@@ -419,7 +419,7 @@ impl Report {
         if n == 0 {
             return 1.0;
         }
-        let failed: std::collections::HashSet<u32> = self
+        let failed: std::collections::BTreeSet<u32> = self
             .failures
             .iter()
             .filter_map(|e| match e {
@@ -890,6 +890,7 @@ impl Engine {
         let credit_leaks = self
             .credits
             .accounts()
+            .into_iter()
             .filter(|&(key, used)| {
                 used > 0
                     && !self.dead.contains(&key.edge.0)
@@ -927,6 +928,7 @@ impl Engine {
         let mut blocked: Vec<String> = self
             .credits
             .blocked()
+            .into_iter()
             .map(|(key, waiter)| format!("{waiter:?} on edge {:?}", key.edge))
             .collect();
         for (r, p) in self.procs.iter().enumerate() {

@@ -31,7 +31,7 @@ pub type ReqId = u32;
 /// Who holds a buffer credit on a virtual-topology edge: an application
 /// process (the origin of a request) or a forwarding communication helper
 /// thread.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Sender {
     /// An application process identified by rank.
     Proc(Rank),

@@ -105,6 +105,10 @@ impl GlobalArray {
         })
     }
 
+    // Invariant: a decomposed sub-patch is clipped to one owner's block,
+    // and block rows derive from the array's u32 process-grid dimensions,
+    // so `rows` always fits u32 — an overflow here is corrupted patch math.
+    #[allow(clippy::expect_used)]
     fn patch_ops<F>(&self, patch: Patch, mk: F) -> Vec<Op>
     where
         F: Fn(Rank, u32, u64) -> Op,

@@ -34,6 +34,7 @@ impl Program for GaScript {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::array::GlobalArray;

@@ -1,0 +1,389 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! The build environment is fully offline (no `syn`/`proc-macro2`), so the
+//! analyzer works on a hand-rolled token stream instead of a full AST. The
+//! lexer's one job is to be *sound about what is code*: string/char/raw
+//! literals and comments must never leak their contents into the identifier
+//! stream, or every rule would false-positive on prose like
+//! `// Instant of the crash`. Comments are preserved out-of-band (keyed by
+//! line) because rule P1 checks that `#[allow(...)]` sites carry a
+//! justification comment.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `let`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `#`, ...). Multi-char
+    /// operators appear as adjacent tokens; rules match the sequence.
+    Punct,
+    /// Any literal: string, raw string, char, byte string, or number.
+    Lit,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For literals only the opening character is kept
+    /// (contents are irrelevant to every rule and may be large).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A lexed source file: the token stream plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub toks: Vec<Tok>,
+    /// `comment_lines[i]` is true when 1-based line `i + 1` contains (or is
+    /// inside) a comment. Used by P1's justification check.
+    pub comment_lines: Vec<bool>,
+    /// Total number of lines in the file.
+    pub n_lines: u32,
+}
+
+impl Lexed {
+    /// True when 1-based `line` carries a comment.
+    pub fn has_comment(&self, line: u32) -> bool {
+        line >= 1 && self.comment_lines.get(line as usize - 1).copied() == Some(true)
+    }
+}
+
+/// Lexes Rust source. Never fails: unterminated literals simply consume to
+/// end-of-file, which is fine for analysis (rustc rejects such files long
+/// before the lint gate runs).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n_lines = src.lines().count() as u32;
+    let mut out = Lexed {
+        toks: Vec::new(),
+        comment_lines: vec![false; src.lines().count()],
+        n_lines,
+    };
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mark_comment = |out: &mut Lexed, l: u32| {
+        if l >= 1 {
+            if let Some(slot) = out.comment_lines.get_mut(l as usize - 1) {
+                *slot = true;
+            }
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. /// and //!).
+                mark_comment(&mut out, line);
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust.
+                let mut depth = 1u32;
+                mark_comment(&mut out, line);
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        mark_comment(&mut out, line);
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 1;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "\"".into(),
+                    line,
+                });
+                i = skip_string(&b, i + 1, &mut line);
+            }
+            'r' | 'b' | 'c' if is_literal_prefix(&b, i) => {
+                let start_line = line;
+                i = skip_prefixed_literal(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "\"".into(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime ('a, 'static) vs char literal ('x', '\n', '\'').
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(ch) if ch == '_' || ch.is_alphabetic())
+                    && after != Some('\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: "'".into(),
+                        line,
+                    });
+                    i += 1;
+                    if b.get(i) == Some(&'\\') {
+                        i += 1;
+                        // Skip the escaped char; \u{...} consumes to '}'.
+                        if b.get(i) == Some(&'u') && b.get(i + 1) == Some(&'{') {
+                            while i < b.len() && b[i] != '}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&'\'') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                // Float continuation: `1.5` but not the range `1..5` or a
+                // method call `1.max(2)`.
+                if j < b.len() && b[j] == '.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 1;
+                    while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "0".into(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a raw/byte/C string prefix (`r"`, `r#"`,
+/// `b"`, `br"`, `c"`, ...) rather than an identifier that happens to start
+/// with `r`/`b`/`c`.
+fn is_literal_prefix(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (br, cr) then optional #s then a quote.
+    while j < b.len() && matches!(b[j], 'r' | 'b' | 'c') && j - i < 2 {
+        j += 1;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && (b[j] == '"' || (b[j] == '\'' && b[i] == 'b'))
+}
+
+/// Skips a normal (escaped) string body starting just after the opening
+/// quote; returns the index just past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                // A line-continuation escape (`\` before newline) still
+                // consumes the newline — count it.
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, `c"..."`.
+fn skip_prefixed_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    let mut byte_char = false;
+    while i < b.len() && matches!(b[i], 'r' | 'b' | 'c') {
+        raw |= b[i] == 'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == '\'' {
+        byte_char = true;
+    }
+    if byte_char {
+        // b'x' or b'\n'
+        i += 1;
+        if b.get(i) == Some(&'\\') {
+            i += 1;
+        }
+        i += 1;
+        if b.get(i) == Some(&'\'') {
+            i += 1;
+        }
+        return i;
+    }
+    i += 1; // opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(b, i, line)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r###"
+            // Instant of the crash
+            let x = "Instant::now"; /* SystemTime */
+            let y = r#"RandomState"#;
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"RandomState".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lit && t.text == "'"));
+    }
+
+    #[test]
+    fn comment_lines_are_recorded() {
+        let l = lex("let a = 1;\n// why\nlet b = 2; // trailing\n/* block\nspans */\nlet c;\n");
+        assert!(!l.has_comment(1));
+        assert!(l.has_comment(2));
+        assert!(l.has_comment(3));
+        assert!(l.has_comment(4));
+        assert!(l.has_comment(5));
+        assert!(!l.has_comment(6));
+    }
+
+    #[test]
+    fn float_vs_range_literals() {
+        let toks = lex("for i in 0..10 { x += 1.5; }").toks;
+        let dots = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == ".")
+            .count();
+        // The `..` of the range survives as two dot puncts; the `.5` of
+        // the float is folded into its number literal.
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn string_continuation_escapes_count_lines() {
+        // The string literal spans lines 1-2 via a `\`-newline
+        // continuation; `next` sits on line 3.
+        let src = "let s = \"a \\\n b\";\nlet next = 1;\n";
+        let toks = lex(src).toks;
+        let next = toks.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* a /* b */ still comment */ real");
+        assert_eq!(ids, vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let ids = idents(r#"let x = b"Instant"; let y = c"SystemTime"; let z = b'x';"#);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+}

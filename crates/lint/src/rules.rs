@@ -1,0 +1,954 @@
+//! The determinism & panic-policy rule passes.
+//!
+//! Every rule works on the lexed token stream of one file plus two derived
+//! structures: *test regions* (lines covered by `#[cfg(test)]`/`#[test]`
+//! items, which all rules skip) and *allow regions* (lines covered by a
+//! `#[allow(clippy::unwrap_used, ...)]` attribute, which P1 audits).
+//!
+//! Rule catalogue (see DESIGN §12 for the full policy):
+//!
+//! * **D1** — no unordered iteration over `HashMap`/`HashSet`/`FxHashMap`/
+//!   `FxHashSet` state in protocol paths, and no ad-hoc `std::collections`
+//!   hash types there at all (their `RandomState` hasher randomises
+//!   iteration order per process; `FxHash*` replays identically but still
+//!   iterates in insertion-history order, which differs across shard
+//!   merges). A site is clean when the same statement sorts or consumes
+//!   order-insensitively (`len`/`count`/integer `sum`/`min`/`max`/...).
+//! * **D2** — no ambient nondeterminism in sim crates: `Instant::now`,
+//!   `SystemTime`, `RandomState`, thread identity, `temp_dir`,
+//!   `available_parallelism`, or `env::var`-style reads.
+//! * **D3** — `DetRng` is the only randomness source: any `rand`-crate
+//!   surface (`thread_rng`, `StdRng`, `from_entropy`, ...) is banned
+//!   workspace-wide.
+//! * **D4** — no floating-point *accumulation* into persistent protocol or
+//!   credit state: compound assignment on a float-typed name, a float
+//!   assignment whose right side reads the same name (EWMA-style), or a
+//!   `sum::<f32|f64>()` turbofish. Float arithmetic into locals and
+//!   reporting files (`metrics.rs`, `stats.rs`) are out of scope.
+//! * **P1** — panic-policy audit: every non-test `#[allow(clippy::
+//!   unwrap_used/expect_used/indexing_slicing/panic/unreachable)]` must
+//!   carry a justification comment directly above its attribute stack, and
+//!   naked `.unwrap()`/`.expect(` outside any such allow region is flagged.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::fmt;
+
+/// A rule identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered hash iteration / ad-hoc std hash types in protocol paths.
+    D1,
+    /// Ambient nondeterminism sources in sim crates.
+    D2,
+    /// Randomness outside `DetRng`.
+    D3,
+    /// Floating-point accumulation in protocol/credit state.
+    D4,
+    /// Panic-policy audit (unwrap/expect/indexing allowances).
+    P1,
+}
+
+impl Rule {
+    /// Stable id string (`"D1"`, ... `"P1"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::P1 => "P1",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Which rule families apply to a file (derived from its workspace path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileScope {
+    /// vt-armci / vt-simnet protocol path: D1 and D4 apply.
+    pub protocol_path: bool,
+    /// Simulation crate: D2 applies. (D3 and P1 apply everywhere.)
+    pub sim_crate: bool,
+}
+
+/// One raw finding inside a single file (no path; the workspace walker
+/// attaches it).
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human explanation of what fired and why it matters.
+    pub note: String,
+}
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const STD_HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+/// Consumers that make iteration order irrelevant (or restore an order)
+/// within the same statement. Float `sum` order-sensitivity is D4's job.
+const ORDER_OK: [&str; 20] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "count",
+    "len",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "contains",
+    "contains_key",
+    "is_empty",
+    "fold_first", // placeholder; plain `fold` is order-sensitive
+];
+const ORDERED_COLLECT: [&str; 3] = ["BTreeMap", "BTreeSet", "BinaryHeap"];
+const D2_BARE: [&str; 6] = [
+    "Instant",
+    "SystemTime",
+    "RandomState",
+    "ThreadId",
+    "temp_dir",
+    "available_parallelism",
+];
+const D3_BARE: [&str; 6] = [
+    "thread_rng",
+    "StdRng",
+    "SmallRng",
+    "OsRng",
+    "getrandom",
+    "from_entropy",
+];
+const PANIC_LINTS: [&str; 5] = [
+    "unwrap_used",
+    "expect_used",
+    "indexing_slicing",
+    "panic",
+    "unreachable",
+];
+
+/// Runs every applicable rule over one file's source.
+pub fn check_file(src: &str, scope: FileScope) -> Vec<RawFinding> {
+    let lexed = lex(src);
+    let ctx = FileCtx::build(&lexed);
+    let mut f = Vec::new();
+    if scope.protocol_path {
+        rule_d1(&lexed, &ctx, &mut f);
+        rule_d4(&lexed, &ctx, &mut f);
+    }
+    if scope.sim_crate {
+        rule_d2(&lexed, &ctx, &mut f);
+    }
+    rule_d3(&lexed, &ctx, &mut f);
+    rule_p1(&lexed, &ctx, &mut f);
+    f.sort_by_key(|x| (x.line, x.rule));
+    f
+}
+
+/// An attribute (`#[...]`) occurrence: its idents, source line, and the
+/// token index just past the closing `]`.
+struct Attr {
+    line: u32,
+    idents: Vec<String>,
+    start_idx: usize,
+    end_idx: usize,
+}
+
+/// Line ranges derived from attributes.
+struct FileCtx {
+    /// True per 1-based line inside a `#[cfg(test)]` / `#[test]` item.
+    test_lines: Vec<bool>,
+    /// Regions covered by a panic-lint `#[allow(...)]`, as
+    /// (first-attr-line, region-start-line, region-end-line, in-test).
+    allow_regions: Vec<(u32, u32, u32, bool)>,
+}
+
+impl FileCtx {
+    fn build(lexed: &Lexed) -> FileCtx {
+        let toks = &lexed.toks;
+        let attrs = collect_attrs(toks);
+        let n = lexed.n_lines as usize;
+        let mut test_lines = vec![false; n + 2];
+        let mut allow_regions = Vec::new();
+        // Group consecutive attribute stacks: attr k+1 starts right where
+        // attr k ended.
+        let mut i = 0usize;
+        while i < attrs.len() {
+            let mut j = i;
+            while j + 1 < attrs.len() && attrs[j + 1].start_idx == attrs[j].end_idx {
+                j += 1;
+            }
+            let stack = &attrs[i..=j];
+            let is_test = stack.iter().any(|a| {
+                a.idents.iter().any(|id| id == "test")
+                    && (a.idents.len() == 1 || a.idents.iter().any(|id| id == "cfg"))
+            });
+            let is_panic_allow = stack.iter().any(|a| {
+                a.idents.first().map(String::as_str) == Some("allow")
+                    && a.idents.iter().any(|id| PANIC_LINTS.contains(&id.as_str()))
+            });
+            if is_test || is_panic_allow {
+                let (start_line, end_line) = item_region(toks, stack[j - i].end_idx);
+                if is_test {
+                    for l in stack[0].line..=end_line {
+                        if let Some(slot) = test_lines.get_mut(l as usize) {
+                            *slot = true;
+                        }
+                    }
+                }
+                if is_panic_allow {
+                    allow_regions.push((stack[0].line, start_line, end_line, is_test));
+                }
+            }
+            i = j + 1;
+        }
+        // Allow regions declared inside a test region inherit test-ness
+        // even when their own stack lacks cfg(test).
+        let regions: Vec<_> = allow_regions
+            .iter()
+            .map(|&(al, s, e, t)| {
+                let t = t || test_lines.get(al as usize).copied() == Some(true);
+                (al, s, e, t)
+            })
+            .collect();
+        FileCtx {
+            test_lines,
+            allow_regions: regions,
+        }
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied() == Some(true)
+    }
+
+    fn in_allow_region(&self, line: u32) -> bool {
+        self.allow_regions
+            .iter()
+            .any(|&(_, s, e, _)| line >= s && line <= e)
+    }
+}
+
+/// Collects every outer attribute `#[...]` (inner `#![...]` are skipped:
+/// they scope the whole file and are never panic-allow sites in this
+/// workspace — crate-wide allows would defeat the lint and are D-rule
+/// findings in their own right if added).
+fn collect_attrs(toks: &[Tok]) -> Vec<Attr> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "[" {
+            let line = toks[i].line;
+            let start_idx = i;
+            let mut depth = 0i32;
+            let mut idents = Vec::new();
+            let mut j = i + 1;
+            while j < toks.len() {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (TokKind::Ident, id) => idents.push(id.to_string()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.push(Attr {
+                line,
+                idents,
+                start_idx,
+                end_idx: j + 1,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The line span of the item following an attribute stack: to the matching
+/// `}` of its first depth-0 brace, or to the terminating `;` when no brace
+/// opens first (statement-level attributes). A depth-0 `,` ends the region
+/// only for non-item attributes (struct fields, enum variants, match arms)
+/// — item forms like `fn .. where F: Fn(..) -> T, {` legitimately carry
+/// depth-0 commas in their where clause.
+fn item_region(toks: &[Tok], from_idx: usize) -> (u32, u32) {
+    let start_line = toks
+        .get(from_idx)
+        .map(|t| t.line)
+        .unwrap_or_else(|| toks.last().map(|t| t.line).unwrap_or(1));
+    // Is this an item-introducing attribute (possibly behind visibility /
+    // qualifier keywords)?
+    let mut fn_like = false;
+    let mut k = from_idx;
+    for _ in 0..12 {
+        match toks.get(k).map(|t| t.text.as_str()) {
+            Some("fn" | "struct" | "enum" | "union" | "trait" | "impl" | "mod" | "macro_rules") => {
+                fn_like = true;
+                break;
+            }
+            Some(
+                "pub" | "crate" | "super" | "self" | "in" | "unsafe" | "const" | "static" | "async"
+                | "extern" | "default" | "(" | ")",
+            ) => k += 1,
+            _ => break,
+        }
+    }
+    let mut depth = 0i32;
+    for t in &toks[from_idx.min(toks.len())..] {
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 && t.text == "}" {
+                    return (start_line, t.line);
+                }
+                // A closing token at negative depth means the attribute sat
+                // last inside an enclosing block: end the region there.
+                if depth < 0 {
+                    return (start_line, t.line);
+                }
+            }
+            ";" if depth == 0 => return (start_line, t.line),
+            "," if depth == 0 && !fn_like => return (start_line, t.line),
+            _ => {}
+        }
+    }
+    let end = toks.last().map(|t| t.line).unwrap_or(start_line);
+    (start_line, end)
+}
+
+/// Walks backwards from a type-ident position looking for the `name :`
+/// declaring it (struct field, let binding, or fn param). Crosses path
+/// segments (`std :: collections ::`) and generic/type punctuation.
+fn declared_name(toks: &[Tok], type_idx: usize) -> Option<String> {
+    let mut i = type_idx;
+    let mut steps = 0usize;
+    while i > 0 && steps < 24 {
+        steps += 1;
+        i -= 1;
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ":") => {
+                if i > 0 && toks[i - 1].text == ":" {
+                    // `::` path separator — skip it and keep walking.
+                    i -= 1;
+                    continue;
+                }
+                if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                    let name = toks[i - 1].text.clone();
+                    // `mut` in `let mut x:` is not the name; neither are
+                    // keywords that can't bind.
+                    if name == "mut" || name == "let" {
+                        return None;
+                    }
+                    return Some(name);
+                }
+                return None;
+            }
+            (TokKind::Ident, "as") => return None,
+            (TokKind::Ident, _) | (TokKind::Lifetime, _) => {}
+            (TokKind::Punct, "<" | ">" | "&" | "," | "(") => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Collects names declared with a hash-table type or constructed from one
+/// (`let seen = FxHashSet::default()`).
+fn hash_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !HASH_TYPES.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        // Declared type: `name: [path::]HashX<...>`.
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some("<") {
+            if let Some(n) = declared_name(toks, i) {
+                push_unique(&mut names, n);
+                continue;
+            }
+        }
+        // Constructor: `let [mut] name [: _] = [path::]HashX::ctor(...)`.
+        let is_ctor = toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":");
+        let turbofish_ctor = toks.get(i + 1).map(|t| t.text.as_str()) == Some("<");
+        if is_ctor || turbofish_ctor {
+            if let Some(n) = let_binding_name(toks, i) {
+                push_unique(&mut names, n);
+            }
+        }
+    }
+    names
+}
+
+/// Collects names declared with a type mentioning `f32`/`f64`.
+fn float_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && (toks[i].text == "f64" || toks[i].text == "f32") {
+            if let Some(n) = declared_name(toks, i) {
+                push_unique(&mut names, n);
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(v: &mut Vec<String>, s: String) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// Finds the `let [mut] name` opening the statement containing `idx`.
+fn let_binding_name(toks: &[Tok], idx: usize) -> Option<String> {
+    let start = stmt_start(toks, idx);
+    if toks.get(start).map(|t| t.text.as_str()) != Some("let") {
+        return None;
+    }
+    let mut j = start + 1;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+        j += 1;
+    }
+    let t = toks.get(j)?;
+    (t.kind == TokKind::Ident).then(|| t.text.clone())
+}
+
+/// Index of the first token of the statement containing `idx` (just past
+/// the previous `;`, `{`, or `}`).
+fn stmt_start(toks: &[Tok], idx: usize) -> usize {
+    let mut i = idx;
+    while i > 0 {
+        match toks[i - 1].text.as_str() {
+            ";" | "{" | "}" => return i,
+            _ => i -= 1,
+        }
+    }
+    0
+}
+
+/// Token index just past the statement containing `idx` (the next `;` at
+/// the statement's brace depth, or the `{` opening a block body).
+fn stmt_end(toks: &[Tok], idx: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, t) in toks[idx..].iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth <= 0 => return idx + off,
+            "{" if depth <= 0 => return idx + off,
+            "}" if depth <= 0 => return idx + off,
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// True when the statement around `idx` contains an order-insensitive or
+/// order-restoring consumer, collects into an ordered container, or is
+/// immediately followed by a statement that sorts (the common
+/// collect-into-Vec-then-sort idiom).
+fn statement_restores_order(toks: &[Tok], idx: usize) -> bool {
+    let s = stmt_start(toks, idx);
+    let e = stmt_end(toks, idx);
+    let same_stmt = toks[s..e].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (ORDER_OK.contains(&t.text.as_str()) || ORDERED_COLLECT.contains(&t.text.as_str()))
+    });
+    if same_stmt {
+        return true;
+    }
+    // Next statement: only an explicit sort redeems an already-collected
+    // unordered sequence (a `len()` there would not — the vec still holds
+    // nondeterministic order that can escape).
+    if e < toks.len() && toks[e].text == ";" {
+        let ns = e + 1;
+        let ne = stmt_end(toks, ns);
+        return toks[ns..ne.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.starts_with("sort"));
+    }
+    false
+}
+
+fn rule_d1(lexed: &Lexed, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    let hashes = hash_names(toks);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        // (a) `recv.iter()` / `recv.keys()` / ... on a hash-typed name.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|x| x.text.as_str()) == Some("(")
+            && i >= 2
+            && toks[i - 1].text == "."
+            && toks[i - 2].kind == TokKind::Ident
+            && hashes.contains(&toks[i - 2].text)
+            && !statement_restores_order(toks, i)
+        {
+            out.push(RawFinding {
+                rule: Rule::D1,
+                line: t.line,
+                note: format!(
+                    "unordered iteration: `{}.{}()` on a hash table in a protocol path; \
+                     sort first, consume order-insensitively, or use a BTree container \
+                     (allowlist with justification if the order provably cannot escape)",
+                    toks[i - 2].text,
+                    t.text
+                ),
+            });
+            continue;
+        }
+        // (a') `for x in [&[mut]] recv { ... }` over a hash-typed name.
+        if t.text == "for" {
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != "in" && toks[j].text != "{" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "in" {
+                let body = (j + 1..toks.len())
+                    .find(|&k| toks[k].text == "{")
+                    .unwrap_or(toks.len());
+                let iterated_hash = toks[j + 1..body].iter().find(|x| {
+                    x.kind == TokKind::Ident
+                        && hashes.contains(&x.text)
+                        // Exclude a hash name that is merely an argument of
+                        // a suppressing consumer in the loop header.
+                        && !toks[j + 1..body].iter().any(|y| {
+                            y.kind == TokKind::Ident && ORDER_OK.contains(&y.text.as_str())
+                        })
+                });
+                if let Some(h) = iterated_hash {
+                    out.push(RawFinding {
+                        rule: Rule::D1,
+                        line: t.line,
+                        note: format!(
+                            "unordered iteration: `for .. in` over hash table `{}` in a \
+                             protocol path; iterate a sorted copy or switch to a BTree \
+                             container",
+                            h.text
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+        // (b) ad-hoc std hash types anywhere in a protocol path: their
+        // default RandomState hasher randomises iteration per process.
+        if STD_HASH_TYPES.contains(&t.text.as_str()) {
+            // `FxHashMap` contains `HashMap` only as a distinct ident, so a
+            // bare match here really is the std type — unless this is the
+            // path suffix `fx::HashMap` (not used in this workspace) or a
+            // generic parameter like `HashMap<K, V, FxBuildHasher>`.
+            let fx_aliased = i >= 2
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && i >= 3
+                && toks[i - 3].text.starts_with("Fx");
+            if !fx_aliased {
+                out.push(RawFinding {
+                    rule: Rule::D1,
+                    line: t.line,
+                    note: format!(
+                        "ad-hoc `std::collections::{}` in a protocol path: its RandomState \
+                         hasher randomises iteration order per process; use Fx{} (replay-\
+                         deterministic lookups) or BTree{} (stable order) instead",
+                        t.text,
+                        t.text,
+                        t.text.trim_start_matches("Hash")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_d2(lexed: &Lexed, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        if D2_BARE.contains(&t.text.as_str()) {
+            out.push(RawFinding {
+                rule: Rule::D2,
+                line: t.line,
+                note: format!(
+                    "ambient nondeterminism source `{}` in a sim crate: wall clocks, hasher \
+                     seeds, and machine parallelism must not influence simulation state",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        // `thread::current`, `process::id`, `env::var{,_os}` / `env::vars`.
+        let path2 = |a: &str, b: &str| {
+            t.text == a
+                && toks.get(i + 1).map(|x| x.text.as_str()) == Some(":")
+                && toks.get(i + 2).map(|x| x.text.as_str()) == Some(":")
+                && toks.get(i + 3).map(|x| x.text.as_str()) == Some(b)
+        };
+        for (m, b) in [
+            ("thread", "current"),
+            ("process", "id"),
+            ("env", "var"),
+            ("env", "var_os"),
+            ("env", "vars"),
+            ("env", "vars_os"),
+        ] {
+            if path2(m, b) {
+                out.push(RawFinding {
+                    rule: Rule::D2,
+                    line: t.line,
+                    note: format!(
+                        "ambient nondeterminism source `{m}::{b}` in a sim crate: thread/\
+                         process identity and environment reads belong in config parsing, \
+                         not simulation code"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_d3(lexed: &Lexed, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let rand_path = t.text == "rand"
+            && toks.get(i + 1).map(|x| x.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|x| x.text.as_str()) == Some(":");
+        if D3_BARE.contains(&t.text.as_str()) || rand_path {
+            out.push(RawFinding {
+                rule: Rule::D3,
+                line: t.line,
+                note: format!(
+                    "randomness source `{}` outside DetRng: all stochastic behaviour must \
+                     flow from the seeded, replayable `vt_simnet::DetRng`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_d4(lexed: &Lexed, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    let floats = float_names(toks);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // `sum::<f64>()` turbofish.
+        if t.kind == TokKind::Ident
+            && t.text == "sum"
+            && toks.get(i + 1).map(|x| x.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|x| x.text.as_str()) == Some(":")
+            && toks.get(i + 3).map(|x| x.text.as_str()) == Some("<")
+            && toks
+                .get(i + 4)
+                .is_some_and(|x| x.text == "f64" || x.text == "f32")
+        {
+            out.push(RawFinding {
+                rule: Rule::D4,
+                line: t.line,
+                note: "floating-point reduction `sum::<float>()` in a protocol path: \
+                       accumulation order changes the result across shard merges; keep \
+                       protocol state integral (ns, bytes, counts)"
+                    .into(),
+            });
+            continue;
+        }
+        if t.kind != TokKind::Ident || !floats.contains(&t.text) {
+            continue;
+        }
+        // Optional index group after the name: `name[idx]`.
+        let mut j = i + 1;
+        if toks.get(j).map(|x| x.text.as_str()) == Some("[") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let (op, eq, after_eq) = (
+            toks.get(j).map(|x| x.text.clone()).unwrap_or_default(),
+            toks.get(j + 1).map(|x| x.text.clone()).unwrap_or_default(),
+            toks.get(j + 2).map(|x| x.text.clone()).unwrap_or_default(),
+        );
+        // Compound assignment `name op= rhs`.
+        if matches!(op.as_str(), "+" | "-" | "*" | "/") && eq == "=" {
+            out.push(RawFinding {
+                rule: Rule::D4,
+                line: t.line,
+                note: format!(
+                    "floating-point accumulation `{} {op}= ..` into protocol state: \
+                     the running value depends on event merge order; use integer units \
+                     or allowlist with a determinism argument",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        // Self-referential assignment `name = .. name ..` (EWMA-style).
+        if op == "=" && eq != "=" && after_eq != "=" {
+            let end = stmt_end(toks, j + 1);
+            if toks[j + 1..end]
+                .iter()
+                .any(|x| x.kind == TokKind::Ident && x.text == t.text)
+            {
+                out.push(RawFinding {
+                    rule: Rule::D4,
+                    line: t.line,
+                    note: format!(
+                        "floating-point running update `{0} = f({0}, ..)` in protocol \
+                         state: accumulation order changes the value across shard \
+                         merges; use integer units or allowlist with a determinism \
+                         argument",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_p1(lexed: &Lexed, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    // (a) every non-test panic-allow must carry a justification comment
+    // directly above its attribute stack.
+    for &(attr_line, _, _, in_test) in &ctx.allow_regions {
+        if in_test {
+            continue;
+        }
+        // A justification may sit directly above the attribute stack or
+        // trail on the attribute line itself (`#[allow(...)] // why`).
+        if !lexed.has_comment(attr_line.saturating_sub(1)) && !lexed.has_comment(attr_line) {
+            out.push(RawFinding {
+                rule: Rule::P1,
+                line: attr_line,
+                note: "panic-policy allowance without justification: a non-test \
+                       `#[allow(clippy::unwrap_used/expect_used/...)]` must state the \
+                       invariant that makes the panic unreachable in a comment directly \
+                       above the attribute"
+                    .into(),
+            });
+        }
+    }
+    // (b) naked `.unwrap()` / `.expect(` outside tests and allow regions.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || (t.text != "unwrap" && t.text != "expect")
+            || ctx.in_test(t.line)
+            || ctx.in_allow_region(t.line)
+        {
+            continue;
+        }
+        let called = toks.get(i + 1).map(|x| x.text.as_str()) == Some("(");
+        let method = i >= 1 && toks[i - 1].text == ".";
+        if called && method {
+            out.push(RawFinding {
+                rule: Rule::P1,
+                line: t.line,
+                note: format!(
+                    "naked `.{}()` outside any justified allow region: return a typed \
+                     error, or cover the site with a commented \
+                     `#[allow(clippy::{}_used)]`",
+                    t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, protocol: bool, sim: bool) -> Vec<RawFinding> {
+        check_file(
+            src,
+            FileScope {
+                protocol_path: protocol,
+                sim_crate: sim,
+            },
+        )
+    }
+
+    #[test]
+    fn d1_fires_on_hash_iteration_and_std_types() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   impl S { fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() } }\n\
+                   fn g() { let s: std::collections::HashSet<u32> = Default::default(); drop(s); }\n";
+        let f = run(src, true, true);
+        assert!(f.iter().any(|x| x.rule == Rule::D1 && x.line == 2), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == Rule::D1 && x.line == 3), "{f:?}");
+    }
+
+    #[test]
+    fn d1_suppressed_by_sort_and_order_insensitive_consumers() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   impl S {\n\
+                   fn a(&self) -> usize { self.m.keys().count() }\n\
+                   fn b(&self) -> u64 { self.m.values().map(|&v| u64::from(v)).sum() }\n\
+                   fn c(&self) -> Vec<u32> { let mut v: Vec<u32> = self.m.keys().copied().collect(); v.sort_unstable(); v }\n\
+                   }\n";
+        let f = run(src, true, true);
+        let d1: Vec<_> = f.iter().filter(|x| x.rule == Rule::D1).collect();
+        // Line 3/4: order-insensitive consumers. Line 5: collect-then-sort
+        // in the immediately following statement.
+        assert!(
+            d1.iter().all(|x| x.line != 3 && x.line != 4 && x.line != 5),
+            "{d1:?}"
+        );
+    }
+
+    #[test]
+    fn d1_for_loop_over_hash() {
+        let src = "fn f() { let mut seen = FxHashSet::default(); seen.insert(1u32);\n\
+                   for v in &seen { drop(v); } }\n";
+        let f = run(src, true, false);
+        assert!(f.iter().any(|x| x.rule == Rule::D1 && x.line == 2), "{f:?}");
+    }
+
+    #[test]
+    fn d2_and_d3_fire_only_in_scope() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
+        let f = run(src, false, true);
+        assert!(f.iter().any(|x| x.rule == Rule::D2));
+        assert!(f.iter().any(|x| x.rule == Rule::D3));
+        let f2 = run(src, false, false);
+        assert!(!f2.iter().any(|x| x.rule == Rule::D2));
+        assert!(
+            f2.iter().any(|x| x.rule == Rule::D3),
+            "D3 is workspace-wide"
+        );
+    }
+
+    #[test]
+    fn d4_fires_on_compound_and_ewma_not_plain_math() {
+        let src = "struct S { acc: f64, v: Vec<f64> }\n\
+                   impl S {\n\
+                   fn a(&mut self, x: f64) { self.acc += x; }\n\
+                   fn b(&mut self, i: usize, x: f64) { self.v[i] = 0.8 * self.v[i] + x; }\n\
+                   fn c(&self, x: f64) -> f64 { x * 2.0 }\n\
+                   }\n";
+        let f = run(src, true, false);
+        assert!(f.iter().any(|x| x.rule == Rule::D4 && x.line == 3), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == Rule::D4 && x.line == 4), "{f:?}");
+        assert!(
+            !f.iter().any(|x| x.rule == Rule::D4 && x.line == 5),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn p1_requires_justification_comment() {
+        let bad = "#[allow(clippy::expect_used)]\nfn f() { g().expect(\"x\"); }\n";
+        let good = "// Invariant: g always returns Some after init.\n\
+                    #[allow(clippy::expect_used)]\nfn f() { g().expect(\"x\"); }\n";
+        assert!(run(bad, false, false)
+            .iter()
+            .any(|x| x.rule == Rule::P1 && x.line == 1));
+        assert!(run(good, false, false).is_empty());
+    }
+
+    #[test]
+    fn p1_flags_naked_unwrap_outside_allow() {
+        let src = "fn f() { g().unwrap(); }\n";
+        let f = run(src, false, false);
+        assert!(f.iter().any(|x| x.rule == Rule::P1 && x.line == 1));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\n#[allow(clippy::unwrap_used, clippy::expect_used)]\n\
+                   mod tests {\n  fn f() { g().unwrap(); let t = Instant::now(); \
+                   let m: std::collections::HashMap<u32,u32> = Default::default(); \
+                   for x in m.keys() { drop(x); } }\n}\n";
+        assert!(run(src, true, true).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// Instant::now() would be bad\nfn f() -> &'static str { \"thread_rng\" }\n";
+        assert!(run(src, true, true).is_empty());
+    }
+
+    #[test]
+    fn allow_region_covers_fn_body_past_where_clause_comma() {
+        // The depth-0 comma ending the where clause must not terminate the
+        // attribute's item region before the body opens.
+        let src = "// invariant: x is always Some here by construction of f\n\
+                   #[allow(clippy::expect_used)]\n\
+                   fn f<T>(x: Option<T>) -> T\n\
+                   where\n\
+                       T: Clone,\n\
+                   {\n\
+                       x.expect(\"always Some\")\n\
+                   }\n";
+        let f = run(src, true, true);
+        assert!(f.iter().all(|x| x.rule != Rule::P1), "{f:?}");
+    }
+
+    #[test]
+    fn field_attr_region_still_ends_at_comma() {
+        // A field-level allow must not leak past its own field: the expect
+        // in `f` below is naked.
+        let src = "struct S {\n\
+                   #[allow(dead_code)]\n\
+                   a: u32,\n\
+                   }\n\
+                   fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n";
+        let f = run(src, true, true);
+        assert!(f.iter().any(|x| x.rule == Rule::P1 && x.line == 5), "{f:?}");
+    }
+}

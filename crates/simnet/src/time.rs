@@ -109,6 +109,9 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    // Invariant: simulated time is monotone — subtracting a later time
+    // from an earlier one is an event-ordering bug; crash loudly rather
+    // than wrap into a bogus 585-year interval.
     #[allow(clippy::expect_used)]
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
@@ -122,6 +125,8 @@ impl Sub for SimTime {
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    // Invariant: u64 nanoseconds cover ~585 years of simulated time; an
+    // overflowing multiply is a config/workload bug worth a loud crash.
     #[allow(clippy::expect_used)]
     #[inline]
     fn mul(self, rhs: u64) -> SimTime {

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Static determinism & panic-policy gate.
+#
+# Rebuilds vtsim and runs the vt-lint analyzer over the whole workspace:
+# unordered hash iteration in protocol paths (D1), ambient nondeterminism
+# in sim crates (D2), randomness outside DetRng (D3), float accumulation
+# in protocol state (D4), and the justified-panic audit (P1). Exceptions
+# live in lint_allow.toml; stale entries are a hard error. Exits non-zero
+# on any unallowlisted finding — the same gate CI's lint-determinism job
+# enforces. The machine-readable report is left at target/lint_report.json.
+#
+# Usage: scripts/lint_determinism.sh [extra vtsim lint flags...]
+# e.g.   scripts/lint_determinism.sh --format json
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --bin vtsim
+./target/release/vtsim lint --root . --out target/lint_report.json "$@"

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Miri pass over the deterministic cores (vt-core, vt-simnet unit tests).
+#
+# Miri catches undefined behaviour and (with its weak-memory emulation)
+# some ordering bugs that a native run never surfaces. The workspace
+# forbids unsafe code, so this is a belt-and-braces job: it mostly guards
+# the vendored shims and any future unsafe opt-ins. Runs on the nightly
+# toolchain; if the miri component is not installed (e.g. in the offline
+# dev container) the script reports and exits 0 so local runs degrade
+# gracefully — CI's scheduled miri job installs the component for real.
+#
+# Usage: scripts/miri_sanity.sh [extra cargo-miri test flags...]
+set -eu
+cd "$(dirname "$0")/.."
+if ! rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^miri.*(installed)'; then
+  echo "miri: nightly component not installed; skipping (install with:" \
+       "rustup +nightly component add miri)"
+  exit 0
+fi
+# MIRIFLAGS: isolation stays ON (the sim must not read the host env);
+# vt-core and vt-simnet are pure computation, so nothing needs -Zmiri-disable-isolation.
+cargo +nightly miri test -p vt-core -p vt-simnet --lib "$@"

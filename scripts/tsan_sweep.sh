@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# ThreadSanitizer build of the parallel-sweep differential tests.
+#
+# The parallel sweep runner is the one place the workspace spawns threads;
+# its determinism contract (byte-identical reports at --threads 1/3/4) is
+# pinned by differential tests. TSan re-runs those tests with data-race
+# detection enabled, catching unsynchronised access that a lucky schedule
+# would hide. Needs nightly + rust-src (std is rebuilt instrumented); if
+# either is missing (e.g. in the offline dev container) the script reports
+# and exits 0 so local runs degrade gracefully — CI's scheduled tsan-sweep
+# job installs both for real.
+#
+# Usage: scripts/tsan_sweep.sh [extra cargo test flags...]
+set -eu
+cd "$(dirname "$0")/.."
+if ! rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src.*(installed)'; then
+  echo "tsan: nightly rust-src not installed; skipping (install with:" \
+       "rustup +nightly component add rust-src)"
+  exit 0
+fi
+# The sweep runner's worker pool is the only threaded code; its serial-
+# vs-parallel differential tests live in the vt-apps lib test suite.
+host="$(rustc -vV | sed -n 's/^host: //p')"
+RUSTFLAGS="-Zsanitizer=thread" \
+  cargo +nightly test -Zbuild-std --target "$host" -p vt-apps --lib "$@"

@@ -7,6 +7,8 @@
 //! vtsim dft --cores 12288 --topology mfcg
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use armci_vt::cli;
 
 fn main() {

@@ -176,6 +176,14 @@ pub fn usage() -> String {
                    percentiles (and the goodput-vs-offered-load curve with\n\
                    --curve); exits non-zero unless the exactly-once ledger\n\
                    balances with zero credit leaks\n\
+       lint        [--root .] [--allow lint_allow.toml] [--format human|json]\n\
+                   [--out PATH]\n\
+                   workspace determinism & panic-policy static analyzer:\n\
+                   D1 no unordered hash iteration in protocol paths, D2 no\n\
+                   ambient nondeterminism in sim crates, D3 DetRng is the\n\
+                   only randomness source, D4 no float accumulation in\n\
+                   protocol state, P1 justified-panic audit; exits non-zero\n\
+                   on any unallowlisted finding or stale allowlist entry\n\
        bench       [--quick] [--repeats N] [--sizes 1024,4096,16384]\n\
                    [--topologies fcg,mfcg,cfcg,hypercube] [--serve on|off]\n\
                    [--out PATH]\n\
@@ -281,6 +289,40 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 rendered
             } else {
                 return Err(format!("configuration NOT certified\n{rendered}"));
+            }
+        }
+        "lint" => {
+            let root = flags.take("root", ".".to_string())?;
+            let allow = flags.take("allow", String::new())?;
+            let format = flags.take("format", "human".to_string())?;
+            if format != "human" && format != "json" {
+                return Err(format!(
+                    "invalid value for --format: '{format}' (human|json)"
+                ));
+            }
+            let out_path = flags.take("out", String::new())?;
+            flags.finish()?;
+            let allow_path = (!allow.is_empty()).then(|| std::path::PathBuf::from(&allow));
+            let report =
+                vt_lint::lint_workspace(std::path::Path::new(&root), allow_path.as_deref())
+                    .map_err(|e| format!("lint failed: {e}"))?;
+            if !out_path.is_empty() {
+                let mut doc = report.to_json();
+                doc.push('\n');
+                std::fs::write(&out_path, doc)
+                    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            }
+            let rendered = if format == "json" {
+                let mut j = report.to_json();
+                j.push('\n');
+                j
+            } else {
+                report.render()
+            };
+            if report.clean() {
+                rendered
+            } else {
+                return Err(format!("determinism gate FAILED\n{rendered}"));
             }
         }
         "topo" => {
@@ -1056,6 +1098,7 @@ fn analyze_matrix(format: &str, threads: usize) -> Result<String, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -22,12 +22,18 @@
 //!   totality and depth bounds, `N x B x M` budget accounting, and an
 //!   exhaustive small-N model checker; `vtsim analyze` and the experiment
 //!   drivers' pre-flight gate.
+//! * [`lint`] (`vt-lint`) — workspace determinism & panic-policy static
+//!   analyzer: no unordered hash iteration in protocol paths, no ambient
+//!   nondeterminism in sim crates, DetRng-only randomness, no float
+//!   accumulation in protocol state, justified-panic audit; `vtsim lint`
+//!   and a blocking CI gate.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
 //! the system inventory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod cli;
 
 pub use vt_analyze as analyze;
@@ -35,6 +41,7 @@ pub use vt_apps as apps;
 pub use vt_armci as armci;
 pub use vt_core as core;
 pub use vt_ga as ga;
+pub use vt_lint as lint;
 pub use vt_simnet as simnet;
 
 /// Commonly used items, re-exported flat for convenience.

@@ -1,0 +1,21 @@
+//! vt-lint fixture (scope: neither protocol nor sim) — P1 true
+//! positives: naked panics and unjustified panic-allowances. P1 applies
+//! workspace-wide, so even "plain" files are audited.
+//!
+//! `//~^ P1` marks the *previous* line (used where the finding lands on
+//! an attribute line that a same-line marker comment would justify).
+
+fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap() //~ P1
+}
+
+fn take(v: Option<u32>) -> u32 {
+    v.expect("value must be present") //~ P1
+}
+
+#[allow(clippy::unwrap_used)]
+fn no_reason_given(v: Option<u32>) -> u32 { //~^ P1
+    // The allow above carries no justification comment, so the audit
+    // flags the attribute itself; the unwrap below is covered by it.
+    v.unwrap()
+}

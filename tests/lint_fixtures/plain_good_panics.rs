@@ -1,0 +1,34 @@
+//! vt-lint fixture (scope: neither protocol nor sim) — P1 true
+//! negatives: justified allowances, fallible alternatives, and the
+//! test-module exemption.
+
+// Invariant: `table` is built by `new()` with every key in 0..n present,
+// so a lookup through a validated index cannot miss; a panic here means
+// the constructor itself is broken.
+#[allow(clippy::expect_used)]
+fn lookup(table: &[u32], idx: usize) -> u32 {
+    table.get(idx).copied().expect("index validated by caller")
+}
+
+#[allow(clippy::unwrap_used)] // ring is non-empty by construction (see new())
+fn head(ring: &[u64]) -> u64 {
+    ring.first().copied().unwrap()
+}
+
+// The fallible idioms the policy prefers.
+fn parse_port(s: &str) -> Option<u16> {
+    s.parse().ok()
+}
+
+fn take_or(v: Option<u32>, dflt: u32) -> u32 {
+    v.unwrap_or(dflt)
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely: a panic *is* the failure report.
+    #[test]
+    fn parses() {
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+    }
+}

@@ -1,0 +1,31 @@
+//! vt-lint fixture (scope: protocol path) — D4 true positives and
+//! negatives: floating-point accumulation in protocol/credit state.
+
+struct Window {
+    ewma_ns: f64,
+    total: f64,
+    bytes: u64,
+}
+
+impl Window {
+    fn update(&mut self, sample: f64) {
+        self.total += sample; //~ D4
+        self.ewma_ns = 0.875 * self.ewma_ns + 0.125 * sample; //~ D4
+    }
+
+    fn reduce(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() //~ D4
+    }
+
+    // Integer accumulation is the sanctioned form: nanoseconds, bytes,
+    // counts all stay exact under any merge order.
+    fn account(&mut self, delta: u64) {
+        self.bytes += delta;
+    }
+
+    // Reading a float without feeding it back into itself is fine.
+    fn headroom(&self) -> f64 {
+        let ceiling: f64 = 1.5;
+        ceiling * 2.0
+    }
+}

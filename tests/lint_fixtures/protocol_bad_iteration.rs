@@ -1,0 +1,37 @@
+//! vt-lint fixture (scope: protocol path) — D1 true positives.
+//!
+//! `//~ D1` marks a line the analyzer must flag; `tests/lint_selftest.rs`
+//! asserts the finding set matches the markers exactly. This file is never
+//! compiled — it exists only as lexer input.
+
+struct CreditTable {
+    held: FxHashMap<u64, u32>,
+    blocked: FxHashSet<u64>,
+}
+
+impl CreditTable {
+    fn leak_order(&self) -> Vec<u64> {
+        self.held.keys().copied().collect() //~ D1
+    }
+
+    fn drain_everything(&mut self) -> Vec<(u64, u32)> {
+        self.held.drain().collect() //~ D1
+    }
+
+    fn first_blocked(&self) -> Option<u64> {
+        self.blocked.iter().next().copied() //~ D1
+    }
+
+    fn broadcast(&self) {
+        for (node, credits) in &self.held { //~ D1
+            send(*node, *credits);
+        }
+    }
+}
+
+fn availability(n: u32) -> bool {
+    let seen: std::collections::HashSet<u32> = Default::default(); //~ D1
+    seen.len() == n as usize
+}
+
+fn send(_node: u64, _credits: u32) {}

@@ -1,0 +1,49 @@
+//! vt-lint fixture (scope: protocol path) — D1 true negatives.
+//!
+//! No markers: the analyzer must produce zero findings here. Every shape
+//! below is an idiom the workspace actually uses to keep hash tables out
+//! of ordered protocol decisions.
+
+use std::collections::BTreeMap;
+
+struct CreditTable {
+    held: FxHashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+impl CreditTable {
+    // Order-insensitive consumers in the same statement.
+    fn population(&self) -> usize {
+        self.held.keys().count()
+    }
+
+    fn total(&self) -> u64 {
+        self.held.values().map(|&v| u64::from(v)).sum()
+    }
+
+    fn knows(&self, node: u64) -> bool {
+        self.held.contains_key(&node)
+    }
+
+    // Collect-then-sort in the immediately following statement.
+    fn sorted_nodes(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.held.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    // BTree containers iterate in key order: always fine.
+    fn walk_ordered(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (node, _credits) in self.ordered.iter() {
+            out.push(*node);
+        }
+        out
+    }
+}
+
+// Prose mentioning HashMap iteration or `for x in map.keys()` inside a
+// comment or string must never fire: the lexer sees code, not text.
+fn describe() -> &'static str {
+    "iterating a HashMap with .keys() would be unordered"
+}

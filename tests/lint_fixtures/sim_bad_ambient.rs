@@ -1,0 +1,40 @@
+//! vt-lint fixture (scope: sim crate, not protocol) — D2/D3 true
+//! positives: ambient nondeterminism and non-DetRng randomness.
+
+fn stamp() -> u64 {
+    let t = Instant::now(); //~ D2
+    drop(t);
+    let w = SystemTime::now(); //~ D2
+    drop(w);
+    0
+}
+
+fn hasher_seed() -> u64 {
+    let state = RandomState::new(); //~ D2
+    drop(state);
+    0
+}
+
+fn who_am_i() -> String {
+    format!("{:?}", std::thread::current().name()) //~ D2
+}
+
+fn tuning_from_env() -> Option<String> {
+    std::env::var("VT_FANOUT").ok() //~ D2
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()) //~ D2
+}
+
+fn roll() -> u64 {
+    thread_rng().next_u64() //~ D3
+}
+
+fn reseed() -> u64 {
+    StdRng::from_entropy().next_u64() //~ D3
+}
+
+fn coin() -> bool {
+    rand::random() //~ D3
+}

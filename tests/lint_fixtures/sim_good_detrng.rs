@@ -1,0 +1,29 @@
+//! vt-lint fixture (scope: sim crate) — D2/D3 true negatives.
+//!
+//! No markers: zero findings expected. `DetRng` is the sanctioned
+//! randomness source, and `#[cfg(test)]` modules may use wall clocks to
+//! time themselves without breaking replay determinism.
+
+fn jitter(rng: &mut DetRng, span_ns: u64) -> u64 {
+    rng.next_u64() % span_ns.max(1)
+}
+
+fn pick_victim(rng: &mut DetRng, n: u32) -> u32 {
+    (rng.next_u64() % u64::from(n.max(1))) as u32
+}
+
+// Prose about `Instant::now()` or `thread_rng()` in comments and strings
+// is invisible to the analyzer.
+fn doc_line() -> &'static str {
+    "never call Instant::now() or thread_rng() in simulation code"
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock use inside tests is exempt: tests may time themselves.
+    #[test]
+    fn timing_a_test_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

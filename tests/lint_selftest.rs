@@ -1,0 +1,172 @@
+//! Self-test for `vt-lint`: pins the analyzer to a fixture corpus and to
+//! the committed workspace.
+//!
+//! * Every `.rs` file under `tests/lint_fixtures/` is lexed (never
+//!   compiled) under the scope encoded in its filename prefix
+//!   (`protocol_` / `sim_` / `plain_`), and the finding set must match
+//!   the `//~ RULE` markers *exactly* — no missed positives, no stray
+//!   false positives.
+//! * The committed tree itself must lint clean under `lint_allow.toml`
+//!   (the same gate CI enforces via `vtsim lint`).
+//! * A property test drives random exception registers through
+//!   `to_toml` → `parse` round-trips, covering the escape handling the
+//!   hand-rolled TOML subset implements.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::Path;
+use vt_lint::{lint_source, parse_allowlist, to_toml, AllowEntry, FileScope};
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("lint_fixtures")
+}
+
+/// Scope encoded in the fixture filename prefix.
+fn scope_for(name: &str) -> FileScope {
+    if name.starts_with("protocol_") {
+        FileScope {
+            protocol_path: true,
+            sim_crate: true,
+        }
+    } else if name.starts_with("sim_") {
+        FileScope {
+            protocol_path: false,
+            sim_crate: true,
+        }
+    } else {
+        FileScope::default()
+    }
+}
+
+/// Parses `//~ RULE` (this line) and `//~^ RULE` (previous line) markers.
+/// Inner-doc lines (`//!`) are prose about the marker syntax, not markers.
+fn expected_markers(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        if line.trim_start().starts_with("//!") {
+            continue;
+        }
+        let n = idx as u32 + 1;
+        if let Some(pos) = line.find("//~") {
+            let tail = &line[pos + 3..];
+            let (target, tail) = match tail.strip_prefix('^') {
+                Some(rest) => (n - 1, rest),
+                None => (n, tail),
+            };
+            let rule = tail
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("marker without a rule id on line {n}"))
+                .to_string();
+            out.insert((target, rule));
+        }
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_markers_exactly() {
+    let dir = fixtures_dir();
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/lint_fixtures must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 6,
+        "fixture corpus shrank: {} files",
+        names.len()
+    );
+    let mut saw_positive = false;
+    let mut saw_negative = false;
+    for path in names {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let expected = expected_markers(&src);
+        let found: BTreeSet<(u32, String)> = lint_source(&name, &src, scope_for(&name))
+            .into_iter()
+            .map(|f| (f.line, f.rule.id().to_string()))
+            .collect();
+        saw_positive |= !expected.is_empty();
+        saw_negative |= expected.is_empty();
+        let missed: Vec<_> = expected.difference(&found).collect();
+        let stray: Vec<_> = found.difference(&expected).collect();
+        assert!(
+            missed.is_empty() && stray.is_empty(),
+            "{name}: missed positives {missed:?}, stray findings {stray:?}\n\
+             (expected {expected:?}, found {found:?})"
+        );
+    }
+    assert!(saw_positive, "corpus has no true-positive fixtures");
+    assert!(saw_negative, "corpus has no true-negative fixtures");
+}
+
+#[test]
+fn committed_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = vt_lint::lint_workspace(root, None)
+        .unwrap_or_else(|e| panic!("lint must not error on the committed tree: {e}"));
+    assert!(
+        report.clean(),
+        "committed tree has unallowlisted findings:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "workspace walk lost files");
+}
+
+/// Deterministic string from a seed, drawing on the characters the TOML
+/// escape path must survive: quotes, backslashes, tabs, newlines, CR,
+/// spaces, and a non-ASCII codepoint.
+fn seeded_string(mut seed: u64, len: usize) -> String {
+    const PALETTE: [char; 16] = [
+        'a', 'b', 'z', 'A', '0', '9', ' ', '_', '/', '.', '"', '\\', '\t', '\n', '\r', 'é',
+    ];
+    let mut s = String::new();
+    for _ in 0..len {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s.push(PALETTE[(seed >> 33) as usize % PALETTE.len()]);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any register round-trips: `parse(to_toml(entries)) == entries`,
+    /// including embedded quotes, backslashes, and control characters.
+    #[test]
+    fn allowlist_roundtrips_through_toml(
+        n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let rules = ["D1", "D2", "D3", "D4", "P1"];
+        let entries: Vec<AllowEntry> = (0..n)
+            .map(|i| {
+                let s = seed.wrapping_add((i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                AllowEntry {
+                    rule: rules[(s % 5) as usize].to_string(),
+                    path: format!("crates/x/src/{}.rs", i),
+                    // `x` anchor: the register rejects patterns that trim
+                    // to nothing, so keep at least one non-space char.
+                    pattern: format!("x{}", seeded_string(s ^ 0xA5A5, (s % 24) as usize)),
+                    // MIN_JUSTIFICATION chars guaranteed by the prefix.
+                    justification: format!(
+                        "determinism argument: {}",
+                        seeded_string(s ^ 0x5A5A, (s % 40) as usize)
+                    ),
+                }
+            })
+            .collect();
+        let text = to_toml(&entries);
+        let back = parse_allowlist(&text)
+            .unwrap_or_else(|e| panic!("generated TOML must parse: {e}\n---\n{text}"));
+        prop_assert_eq!(back, entries);
+    }
+}
