@@ -106,6 +106,12 @@ pub struct FaultOutcome {
     pub reclaims: u64,
     /// Duplicates suppressed by the target-side dedup table.
     pub dedup_hits: u64,
+    /// Corrupt frames caught by the end-to-end envelope checksum (zero in
+    /// this scenario — the forwarder kill injects no corruption — but
+    /// surfaced so chaos-composed schedules report through the same shape).
+    pub corrupt_detected: u64,
+    /// Partition windows that healed during the run (likewise zero here).
+    pub partitions_healed: u64,
     /// Membership / repair activity counters (all zero with membership
     /// off).
     pub repair: RepairStats,
@@ -180,6 +186,7 @@ pub fn run(cfg: &FaultScenarioConfig) -> FaultOutcome {
 pub fn try_run(cfg: &FaultScenarioConfig) -> Result<FaultOutcome, crate::RunError> {
     let victim = cfg.victim_node();
     let plan = FaultPlan::new().crash_node(cfg.kill_at, victim);
+    plan.validate()?;
     // Pre-flight: the crashed configuration must stay certified — the
     // dependency graph acyclic over every crash prefix, and every
     // surviving pair still routable. A partial packing whose victim is
@@ -210,6 +217,8 @@ pub fn try_run(cfg: &FaultScenarioConfig) -> Result<FaultOutcome, crate::RunErro
         reroutes: report.faults.reroutes,
         reclaims: report.faults.reclaims,
         dedup_hits: report.faults.dedup_hits,
+        corrupt_detected: report.faults.corrupt_detected,
+        partitions_healed: report.faults.partitions_healed,
         repair: report.repair,
     })
 }

@@ -23,6 +23,11 @@
 //!   arrival processes drive every rank as a serving client past the hot
 //!   CHT's saturation point, measuring shed/goodput/latency behaviour and
 //!   (optionally) a certified load-triggered topology re-pack.
+//! * [`chaos`] — the deterministic chaos-campaign harness: randomised
+//!   composite fault schedules (crashes, reboots, partitions, loss,
+//!   corruption) over a topology × population grid, every cell checked
+//!   against invariant oracles and replay byte-identity, with greedy
+//!   shrinking of failing schedules to minimized reproducers.
 //! * [`report`] — gnuplot-ready series/panel/table rendering.
 //! * [`sweep`] — a scoped-thread parallel runner for independent
 //!   simulations (each simulation itself stays single-threaded and
@@ -31,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
+pub mod chaos;
 pub mod contention;
 pub mod faults;
 pub mod gups;
@@ -42,6 +48,7 @@ pub mod report;
 pub mod serve;
 pub mod sweep;
 
+pub use chaos::{CellOutcome, ChaosConfig, ChaosOutcome, MinimizedRepro};
 pub use contention::{ContentionConfig, ContentionOutcome, OpSpec, Scenario};
 pub use faults::{FaultOutcome, FaultScenarioConfig};
 pub use gups::{GupsConfig, GupsOutcome};
@@ -63,6 +70,9 @@ pub enum RunError {
     /// The underlying simulation ended abnormally (deadlock, timeout,
     /// unreachable destination).
     Sim(vt_armci::SimError),
+    /// The fault schedule failed [`FaultPlan::validate`](vt_simnet::FaultPlan::validate)
+    /// before the run was built.
+    Plan(vt_simnet::FaultPlanError),
     /// A harness-side invariant failed; the message names it.
     Harness(String),
 }
@@ -71,6 +81,7 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Plan(e) => write!(f, "invalid fault plan: {e}"),
             RunError::Harness(msg) => write!(f, "harness invariant failed: {msg}"),
         }
     }
@@ -81,5 +92,11 @@ impl std::error::Error for RunError {}
 impl From<vt_armci::SimError> for RunError {
     fn from(e: vt_armci::SimError) -> Self {
         RunError::Sim(e)
+    }
+}
+
+impl From<vt_simnet::FaultPlanError> for RunError {
+    fn from(e: vt_simnet::FaultPlanError) -> Self {
+        RunError::Plan(e)
     }
 }

@@ -175,6 +175,7 @@ pub fn run(cfg: &RepairScenarioConfig) -> RepairOutcome {
 /// abnormally.
 pub fn try_run(cfg: &RepairScenarioConfig) -> Result<RepairOutcome, crate::RunError> {
     let plan = FaultPlan::new().crash_node(cfg.kill_at, cfg.victim);
+    plan.validate()?;
     // The contrast pin: the *static* crashed configuration (membership
     // off) is refused for escape-critical victims. Recorded, not fatal —
     // surviving exactly this refusal is the experiment.

@@ -203,6 +203,9 @@ pub struct ServeOutcome {
     pub credit_leaks: u64,
     /// Duplicate deliveries suppressed by the target-side dedup table.
     pub dedup_hits: u64,
+    /// Corrupt frames caught by the end-to-end envelope checksum (zero
+    /// unless a fault schedule corrupts payloads under the serving run).
+    pub corrupt_detected: u64,
     /// Final value of the hot fetch-&-add counter.
     pub hot_final: u64,
     /// The exactly-once ledger balances: `admitted = completed + gave_up`,
@@ -293,6 +296,7 @@ pub fn try_run(cfg: &ServeScenarioConfig) -> Result<ServeOutcome, crate::RunErro
         exec_seconds: exec_s,
         credit_leaks: report.credit_leaks,
         dedup_hits: report.faults.dedup_hits,
+        corrupt_detected: report.faults.corrupt_detected,
         hot_final,
         exactly_once,
         load_repacks: s.load_repacks,
@@ -362,11 +366,12 @@ pub fn render(cfg: &ServeScenarioConfig, o: &ServeOutcome) -> String {
         o.exec_seconds * 1e6,
     ));
     out.push_str(&format!(
-        "ledger: hot counter {} in [{}, {}], {} dedup hits, {} credit leaks, exactly-once {}\n",
+        "ledger: hot counter {} in [{}, {}], {} dedup hits, {} corrupt caught, {} credit leaks, exactly-once {}\n",
         o.hot_final,
         o.completed,
         o.admitted,
         o.dedup_hits,
+        o.corrupt_detected,
         o.credit_leaks,
         if o.exactly_once { "HOLDS" } else { "VIOLATED" },
     ));

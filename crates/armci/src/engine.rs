@@ -24,8 +24,10 @@ use crate::ops::{Op, OpKind};
 use crate::workload::{Action, ProcCtx, Program};
 use vt_core::ldf::{self, HopDecision};
 use vt_core::{FxHashMap, FxHashSet, Grid, Shape, SurvivorPacking, TopologyKind, VirtualTopology};
-use vt_simnet::fault::NodeCrash;
-use vt_simnet::{ArrivalGen, DetRng, EventQueue, FaultPlan, Network, SendOutcome, SimTime};
+use vt_simnet::fault::{NodeCrash, NodeRestart, PartitionWindow};
+use vt_simnet::{
+    ArrivalGen, Delivery, DetRng, EventQueue, FaultPlan, Network, SendOutcome, SimTime,
+};
 
 /// Engine events.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +52,15 @@ enum Event {
     Timeout { req: ReqId },
     /// A scheduled node (CHT + NIC) crash fires (fault runs only).
     NodeCrash { node: NodeId },
+    /// A scheduled node reboot fires: revive the node's NIC and Lost
+    /// resident ranks (fault runs with restarts only).
+    NodeRestart { node: NodeId },
+    /// A scheduled partition window heals (fault runs with partitions
+    /// only).
+    PartitionHeal { idx: u32 },
+    /// A rebooted node announces itself to a live peer so the membership
+    /// layer gathers rejoin evidence (membership runs with restarts only).
+    RejoinAnnounce { node: NodeId },
     /// A CHT finished assembling and dispatching a coalesced envelope
     /// (coalescing runs only).
     ChtEnvDone { node: NodeId, env: u32 },
@@ -194,6 +205,13 @@ struct ProcState {
     /// CHT busy time on this node already charged to this process's compute
     /// (interference bookkeeping).
     cht_busy_seen: SimTime,
+    /// The phase this process was in when its node crashed — restored (or
+    /// resolved) by the node's reboot. Meaningful only while `phase` is
+    /// [`Phase::Lost`] on a node the plan restarts.
+    saved_phase: Phase,
+    /// The barrier generation at crash time: a revived rank re-joins the
+    /// barrier only if the generation it was waiting in has not released.
+    saved_barrier_gen: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -472,6 +490,23 @@ pub struct Engine {
     shape: Shape,
     /// Node crashes scheduled by the fault plan.
     crash_plan: Vec<NodeCrash>,
+    /// Node reboots scheduled by the fault plan.
+    restart_plan: Vec<NodeRestart>,
+    /// Reboot instant per node, from the plan (`None` = never reboots).
+    /// Consulted by the timeout machinery: a Lost origin whose node has a
+    /// reboot still ahead keeps its timers alive so the revived rank
+    /// retransmits with the same sequence numbers.
+    restart_time: Vec<Option<SimTime>>,
+    /// Partition windows scheduled by the fault plan, in plan order (heal
+    /// events index into this; the failure detector's grace shield scans
+    /// it).
+    partition_plan: Vec<PartitionWindow>,
+    /// Barrier generations released so far (see `ProcState::
+    /// saved_barrier_gen`).
+    barrier_gen: u64,
+    /// Rebooted nodes un-confirmed since the last epoch commit; the commit
+    /// that re-admits them counts them as rejoins.
+    pending_rejoins: u64,
     /// Nodes that have crashed so far, sorted (the route-around dead set).
     dead: Vec<NodeId>,
     /// Ranks lost to crashes / failed on an operation.
@@ -685,6 +720,8 @@ impl Engine {
                 notified: 0,
                 notify_threshold: 0,
                 cht_busy_seen: SimTime::ZERO,
+                saved_phase: Phase::Running,
+                saved_barrier_gen: 0,
             })
             .collect();
         let chts = (0..n_nodes).map(|_| Cht::new()).collect();
@@ -738,6 +775,11 @@ impl Engine {
             programs,
             shape,
             crash_plan: plan.node_crashes.clone(),
+            restart_plan: plan.node_restarts.clone(),
+            restart_time: (0..n_nodes).map(|n| plan.restart_time(n)).collect(),
+            partition_plan: plan.partitions.clone(),
+            barrier_gen: 0,
+            pending_rejoins: 0,
             dead: Vec::new(),
             lost_count: 0,
             failed_count: 0,
@@ -838,6 +880,17 @@ impl Engine {
         let crashes = std::mem::take(&mut self.crash_plan);
         for c in &crashes {
             self.queue.schedule(c.at, Event::NodeCrash { node: c.node });
+        }
+        let restarts = std::mem::take(&mut self.restart_plan);
+        for r in &restarts {
+            self.queue
+                .schedule(r.at, Event::NodeRestart { node: r.node });
+        }
+        // The plan stays resident (the detector's grace shield scans it);
+        // only the heal events are scheduled here.
+        for (idx, w) in self.partition_plan.iter().enumerate() {
+            self.queue
+                .schedule(w.until, Event::PartitionHeal { idx: idx as u32 });
         }
         if self.membership_on() {
             self.queue
@@ -958,6 +1011,9 @@ impl Engine {
             Event::BarrierRelease => self.barrier_release(now),
             Event::Timeout { req } => self.timeout_fire(now, req),
             Event::NodeCrash { node } => self.node_crash(now, node),
+            Event::NodeRestart { node } => self.node_restart(now, node),
+            Event::PartitionHeal { idx } => self.partition_heal(now, idx),
+            Event::RejoinAnnounce { node } => self.rejoin_announce(now, node),
             Event::ChtEnvDone { node, env } => self.cht_env_done(now, node, env),
             Event::EnvelopeArrive { env, node } => self.envelope_arrive(now, env, node),
             Event::MembershipTick => self.membership_tick(now),
@@ -1054,6 +1110,7 @@ impl Engine {
 
     fn barrier_release(&mut self, now: SimTime) {
         self.barrier_scheduled = false;
+        self.barrier_gen += 1;
         let waiting = std::mem::take(&mut self.barrier_waiting);
         for rank in waiting {
             self.queue.schedule(now, Event::ProcReady(rank));
@@ -1161,7 +1218,7 @@ impl Engine {
             // RDMA path: request to the target NIC, hardware-level response.
             let t0 = now + self.cfg.issue_overhead;
             if self.faults_on() {
-                if self.net.node_dead(target_node, now) {
+                if self.node_gone(target_node, now) {
                     self.rank_fail(now, rank, req);
                     return;
                 }
@@ -1190,12 +1247,15 @@ impl Engine {
                         Some(h)
                     }
                     HopDecision::Unreachable => {
-                        if self.membership_on() && !self.net.node_dead(target_node, now) {
-                            // No live route *yet* — the target is alive but
-                            // an escape-critical node died. Park the
-                            // operation on its retry timer; the detector
-                            // will confirm the crash and the repaired
-                            // packing will route the retransmission.
+                        if (self.membership_on() || self.revival_ahead(now))
+                            && !self.node_gone(target_node, now)
+                        {
+                            // No live route *yet* — the target will live but
+                            // an escape-critical node is down. Park the
+                            // operation on its retry timer; either the
+                            // detector confirms the crash and the repaired
+                            // packing routes the retransmission, or the
+                            // scheduled reboot restores the original route.
                             self.arm_timeout(now + self.cfg.issue_overhead, req);
                             None
                         } else {
@@ -1324,6 +1384,9 @@ impl Engine {
         {
             SendOutcome::Dropped { .. } => {}
             SendOutcome::Delivered(d1) => {
+                let Some(d1) = self.checksum(d1) else {
+                    return; // Corrupt request: the target discards it.
+                };
                 if r.op.notify {
                     // Exactly-once notification across retransmissions.
                     let fresh = self
@@ -1349,7 +1412,9 @@ impl Engine {
                 ) {
                     SendOutcome::Dropped { .. } => {}
                     SendOutcome::Delivered(d2) => {
-                        self.queue.schedule(d2.at, Event::ResponseArrive { req });
+                        if self.checksum(d2).is_some() {
+                            self.queue.schedule(d2.at, Event::ResponseArrive { req });
+                        }
                     }
                 }
             }
@@ -1368,23 +1433,28 @@ impl Engine {
                 .schedule(d.at, Event::RequestArrive { req, node: to });
             return;
         }
-        match self.net.send_faulted(at, from, to, bytes) {
-            SendOutcome::Delivered(d) => {
-                self.queue
-                    .schedule(d.at, Event::RequestArrive { req, node: to });
-            }
-            SendOutcome::Dropped { at: drop_at, .. } => {
-                let r = self.requests[req as usize];
-                self.reclaim_later(
-                    drop_at,
-                    CreditKey {
-                        sender: r.prev_sender,
-                        edge: (from, to),
-                        class: r.vc_class,
-                    },
-                );
-            }
-        }
+        let destroyed_at = match self.net.send_faulted(at, from, to, bytes) {
+            SendOutcome::Delivered(d) => match self.checksum(d) {
+                Some(d) => {
+                    self.queue
+                        .schedule(d.at, Event::RequestArrive { req, node: to });
+                    return;
+                }
+                // A corrupt request is discarded at delivery: from the
+                // credit machinery's view the copy was destroyed then.
+                None => d.at,
+            },
+            SendOutcome::Dropped { at: drop_at, .. } => drop_at,
+        };
+        let r = self.requests[req as usize];
+        self.reclaim_later(
+            destroyed_at,
+            CreditKey {
+                sender: r.prev_sender,
+                edge: (from, to),
+                class: r.vc_class,
+            },
+        );
     }
 
     /// Schedules a delayed credit release modelling the upstream sender's
@@ -1726,10 +1796,15 @@ impl Engine {
                 .schedule(d.at, Event::EnvelopeArrive { env, node: to });
         } else {
             match self.net.send_envelope_faulted(now, node, to, payload, n) {
-                SendOutcome::Delivered(d) => {
-                    self.queue
-                        .schedule(d.at, Event::EnvelopeArrive { env, node: to });
-                }
+                SendOutcome::Delivered(d) => match self.checksum(d) {
+                    Some(d) => {
+                        self.queue
+                            .schedule(d.at, Event::EnvelopeArrive { env, node: to });
+                    }
+                    // A corrupt envelope fails its checksum as a unit:
+                    // recovered exactly like a dropped one.
+                    None => self.reclaim_later(d.at, CreditKey::cht(node, to, class)),
+                },
                 SendOutcome::Dropped { at, .. } => {
                     // The envelope (and every member copy inside it) is
                     // destroyed; its single downstream credit comes back via
@@ -1803,9 +1878,10 @@ impl Engine {
             return;
         }
         match self.net.send_faulted(now, node, from, Op::ack_bytes()) {
-            SendOutcome::Delivered(ack) => {
-                self.queue.schedule(ack.at, Event::AckArrive { key });
-            }
+            SendOutcome::Delivered(ack) => match self.checksum(ack) {
+                Some(ack) => self.queue.schedule(ack.at, Event::AckArrive { key }),
+                None => self.reclaim_later(ack.at, key),
+            },
             SendOutcome::Dropped { at, .. } => self.reclaim_later(at, key),
         }
     }
@@ -1857,10 +1933,13 @@ impl Engine {
             .net
             .send_faulted(now, node, r.prev_node, Op::ack_bytes())
         {
-            SendOutcome::Delivered(ack) => {
-                self.queue
-                    .schedule(ack.at, Event::AckArrive { key: up_key });
-            }
+            SendOutcome::Delivered(ack) => match self.checksum(ack) {
+                Some(ack) => {
+                    self.queue
+                        .schedule(ack.at, Event::AckArrive { key: up_key });
+                }
+                None => self.reclaim_later(ack.at, up_key),
+            },
             // A lost ack still frees the buffer eventually: the upstream
             // sender's reclaim timer fires instead.
             SendOutcome::Dropped { at, .. } => self.reclaim_later(at, up_key),
@@ -1980,11 +2059,13 @@ impl Engine {
                 .send_faulted(now, r.target_node, r.origin_node, r.op.response_bytes())
             {
                 SendOutcome::Delivered(resp) => {
-                    self.queue.schedule(resp.at, Event::ResponseArrive { req });
+                    if self.checksum(resp).is_some() {
+                        self.queue.schedule(resp.at, Event::ResponseArrive { req });
+                    }
                 }
-                // A lost response is recovered by the origin's timer; the
-                // retransmitted request will hit the dedup table and be
-                // re-answered.
+                // A lost (or corrupt) response is recovered by the origin's
+                // timer; the retransmitted request will hit the dedup table
+                // and be re-answered.
                 SendOutcome::Dropped { .. } => {}
             }
         } else {
@@ -2045,10 +2126,20 @@ impl Engine {
                 }
                 // The credit transferred to the blocked process: send its
                 // pending request now.
-                let pending = self.procs[rank.idx()]
-                    .pending
-                    .take()
-                    .expect("granted proc must have a pending issue");
+                let Some(pending) = self.procs[rank.idx()].pending.take() else {
+                    // The waiter's node crashed (clearing the parked issue)
+                    // and rebooted before this grant landed: the revived
+                    // rank re-drives the operation through its retry
+                    // timer, so the credit just passes on. Any other
+                    // grant without a pending issue is protocol-state
+                    // corruption.
+                    assert!(
+                        self.restart_time[self.procs[rank.idx()].node as usize].is_some(),
+                        "granted proc must have a pending issue"
+                    );
+                    self.ack_arrive(now, key);
+                    return;
+                };
                 let node = self.procs[rank.idx()].node;
                 debug_assert_eq!(key.edge, (node, pending.first_hop));
                 self.send_request(now, pending.req, node, pending.first_hop);
@@ -2223,7 +2314,7 @@ impl Engine {
         // retransmit spends waiting for a first-hop credit.
         self.arm_timeout(now, new_req);
         if old.op.kind.is_direct() {
-            if self.net.node_dead(old.target_node, now) {
+            if self.node_gone(old.target_node, now) {
                 self.rank_fail(now, rank, new_req);
                 return;
             }
@@ -2252,11 +2343,14 @@ impl Engine {
                 }
             }
             HopDecision::Unreachable => {
-                // With membership on and a live target, unreachability is a
-                // symptom of a not-yet-repaired topology: the attempt's
-                // timer (armed above) will retry after the epoch commits
-                // and the survivor packing restores an escape route.
-                if !self.membership_on() || self.net.node_dead(old.target_node, now) {
+                // With membership on (or a reboot still ahead) and a
+                // recoverable target, unreachability is a symptom of a
+                // not-yet-repaired topology: the attempt's timer (armed
+                // above) will retry after the epoch commits — or the
+                // reboot lands — and an escape route exists again.
+                if !(self.membership_on() || self.revival_ahead(now))
+                    || self.node_gone(old.target_node, now)
+                {
                     self.rank_fail(now, rank, new_req);
                 }
             }
@@ -2285,6 +2379,10 @@ impl Engine {
             if phase == Phase::InBarrier {
                 self.barrier_waiting.retain(|&w| w != rank);
             }
+            // Snapshot what the crash interrupted: a scheduled reboot
+            // restores (or resolves) it.
+            self.procs[rank.idx()].saved_phase = phase;
+            self.procs[rank.idx()].saved_barrier_gen = self.barrier_gen;
             self.procs[rank.idx()].phase = Phase::Lost;
             self.procs[rank.idx()].pending = None;
             self.lost_count += 1;
@@ -2293,6 +2391,221 @@ impl Engine {
             self.reclaim_member(now, node, req);
         }
         self.maybe_release_barrier(now);
+    }
+
+    /// Whether `node` is dead *and staying dead*: inside an outage window
+    /// with no reboot still ahead. A node that the plan revives later is
+    /// treated as recoverable — operations aimed at it keep their retry
+    /// timers instead of failing fast.
+    fn node_gone(&self, node: NodeId, now: SimTime) -> bool {
+        self.net.node_dead(node, now) && self.restart_time[node as usize].is_none_or(|r| r <= now)
+    }
+
+    /// Whether any currently-dead node has a reboot still ahead of `now`
+    /// (transient outages justify parking unreachable work on its timer
+    /// even without the membership detector).
+    fn revival_ahead(&self, now: SimTime) -> bool {
+        self.dead
+            .iter()
+            .any(|&n| self.restart_time[n as usize].is_some_and(|r| r > now))
+    }
+
+    /// A scheduled node reboot fires: revive the NIC, drop the node from
+    /// the route-around dead set, restore its Lost resident ranks to the
+    /// phase the crash interrupted, and re-drive their in-flight
+    /// operations. Re-issued attempts keep their original sequence
+    /// numbers, so the target-side dedup table keeps every operation
+    /// exactly-once across the crash→reboot cycle. With membership on the
+    /// node also starts announcing itself, feeding the detector the
+    /// evidence that grows the view back (see [`Engine::rejoin_announce`]).
+    fn node_restart(&mut self, now: SimTime, node: NodeId) {
+        self.net.revive_node(node);
+        if let Ok(pos) = self.dead.binary_search(&node) {
+            self.dead.remove(pos);
+        }
+        // Scan the slab for the node's unfinished work *before* restoring
+        // phases (the filter keys on `Lost`). The slab is append-ordered,
+        // so keeping the last live entry per (origin, seq) picks each
+        // operation's newest attempt and minimises redundant chains.
+        let mut rearm: FxHashMap<(u32, u64), ReqId> = FxHashMap::default();
+        let mut lost_completions: Vec<ReqId> = Vec::new();
+        for (id, r) in self.requests.iter().enumerate() {
+            if !r.live || r.serve || r.origin_node != node {
+                continue;
+            }
+            if self.procs[r.origin.idx()].phase != Phase::Lost {
+                continue;
+            }
+            if self.op_done.contains(&(r.origin.0, r.seq)) {
+                // Completed during the outage (an intra-node response that
+                // landed while its rank was down): finalise at revival.
+                lost_completions.push(id as ReqId);
+            } else if r.target_node != r.origin_node {
+                // Intra-node operations have no timers — their shared-
+                // memory responses are still queued and complete normally.
+                rearm.insert((r.origin.0, r.seq), id as ReqId);
+            }
+        }
+        for r in 0..self.cfg.n_procs {
+            let rank = Rank(r);
+            if self.layout.node_of(rank) != node || self.procs[rank.idx()].phase != Phase::Lost {
+                continue;
+            }
+            self.lost_count -= 1;
+            let saved = self.procs[rank.idx()].saved_phase;
+            let phase = match saved {
+                Phase::InBarrier => {
+                    if self.procs[rank.idx()].saved_barrier_gen == self.barrier_gen {
+                        // Its barrier has not released (lost ranks are
+                        // excluded from the count, so it *can* release
+                        // mid-outage — the generation check catches that):
+                        // rejoin the rendezvous.
+                        self.barrier_waiting.push(rank);
+                        Phase::InBarrier
+                    } else {
+                        // The barrier released during the outage: the rank
+                        // missed the rendezvous; resume past it.
+                        self.queue.schedule(now, Event::ProcReady(rank));
+                        Phase::Running
+                    }
+                }
+                Phase::WaitingCredit => {
+                    // The crash destroyed the parked issue; the re-armed
+                    // timer re-drives the operation through the retry
+                    // path, so the rank waits on its response instead.
+                    let blocking = rearm
+                        .iter()
+                        .filter(|((o, _), _)| *o == rank.0)
+                        .max_by_key(|((_, s), _)| *s)
+                        .map(|(_, &id)| self.requests[id as usize].blocking)
+                        .unwrap_or(false);
+                    if blocking {
+                        Phase::WaitingResponse
+                    } else {
+                        self.queue.schedule(now, Event::ProcReady(rank));
+                        Phase::Running
+                    }
+                }
+                Phase::Running => {
+                    self.queue.schedule(now, Event::ProcReady(rank));
+                    Phase::Running
+                }
+                other => other,
+            };
+            self.procs[rank.idx()].phase = phase;
+        }
+        // Finalise operations that completed while the rank was down, now
+        // that its phase is restored (the crash-time response handler
+        // early-returned before touching the rank's accounting).
+        for req in lost_completions {
+            let r = self.requests[req as usize];
+            let rank = r.origin;
+            let proc = &mut self.procs[rank.idx()];
+            proc.outstanding -= 1;
+            proc.completed_ops += 1;
+            if let Some(v) = r.resp_value {
+                proc.last_fetch = Some(v);
+            }
+            let fencing_done = proc.phase == Phase::Fencing && proc.outstanding == 0;
+            self.metrics.complete_op(rank, r.op.kind, r.issued, now);
+            self.free_request(req);
+            if r.blocking || fencing_done {
+                self.queue.schedule(now, Event::ProcReady(rank));
+            }
+        }
+        // Fresh response timers for the surviving in-flight work: the old
+        // timers died with the node (their firings found a Lost origin).
+        let mut rearm_ids: Vec<ReqId> = rearm.into_values().collect();
+        rearm_ids.sort_unstable();
+        for req in rearm_ids {
+            self.arm_timeout(now, req);
+        }
+        if self.membership_on() {
+            self.queue.schedule(now, Event::RejoinAnnounce { node });
+        }
+    }
+
+    /// A rebooted node announces itself so the membership layer gathers
+    /// rejoin evidence: the failure detector never probes a *confirmed*
+    /// node and the revived ranks' own traffic is unroutable until the
+    /// grow-back epoch commits, so without this the view would never heal.
+    /// The announcement is an ordinary droppable probe to the lowest-id
+    /// live peer still in the view; it re-arms each heartbeat period until
+    /// the node is no longer confirmed dead.
+    fn rejoin_announce(&mut self, now: SimTime, node: NodeId) {
+        if !self.membership_on()
+            || self.membership.confirmed.binary_search(&node).is_err()
+            || self.net.node_dead(node, now)
+        {
+            return; // Re-admitted (or crashed again): nothing to announce.
+        }
+        if self.finished_count() >= self.cfg.n_procs && !(self.serve_on() && self.serve_live()) {
+            return; // Quiescent: let the run end.
+        }
+        let n_nodes = self.layout.num_nodes();
+        let peer = (0..n_nodes).find(|&p| {
+            p != node
+                && self.membership.confirmed.binary_search(&p).is_err()
+                && !self.net.node_dead(p, now)
+        });
+        if let Some(peer) = peer {
+            self.membership.stats.probes += 1;
+            if let SendOutcome::Delivered(d) = self.net.send_probe(now, node, peer, PROBE_BYTES) {
+                if self.checksum(d).is_some() {
+                    self.queue.schedule(
+                        d.at,
+                        Event::ProbeArrive {
+                            node: peer,
+                            prober: node,
+                        },
+                    );
+                }
+            }
+        }
+        self.queue.schedule(
+            now + self.cfg.membership.heartbeat_period,
+            Event::RejoinAnnounce { node },
+        );
+    }
+
+    /// A partition window ends: count the heal and (with membership on)
+    /// reset the evidence clocks of the nodes the cut involved — the
+    /// detector grants them a fresh grace period instead of charging them
+    /// for the backlog of silence the cut caused.
+    fn partition_heal(&mut self, now: SimTime, idx: u32) {
+        self.faults.partitions_healed += 1;
+        if !self.membership_on() {
+            return;
+        }
+        for node in 0..self.layout.num_nodes() {
+            if self.partition_plan[idx as usize].involves(node)
+                && self.membership.confirmed.binary_search(&node).is_err()
+            {
+                self.membership.last_heard[node as usize] = now;
+                self.membership.suspected[node as usize] = false;
+            }
+        }
+    }
+
+    /// Whether any partition window is active at `now` with `node` on
+    /// either side of the cut (the detector's grace shield).
+    fn partition_involves(&self, now: SimTime, node: NodeId) -> bool {
+        self.partition_plan
+            .iter()
+            .any(|w| now >= w.from && now < w.until && w.involves(node))
+    }
+
+    /// End-to-end envelope checksum at the receiver: a corrupt frame is
+    /// discarded on arrival. Callers treat `None` exactly like a network
+    /// drop at the delivery instant — sender-side reclaim timers and
+    /// origin response timers recover whatever the frame carried.
+    fn checksum(&mut self, d: Delivery) -> Option<Delivery> {
+        if d.corrupt {
+            self.faults.corrupt_detected += 1;
+            None
+        } else {
+            Some(d)
+        }
     }
 
     // ----- membership: detection, epochs, live re-packing ----------------
@@ -2389,10 +2702,29 @@ impl Engine {
         if !self.membership_on() {
             return;
         }
-        let m = &mut self.membership;
-        if m.confirmed.binary_search(&node).is_ok() {
+        if let Ok(pos) = self.membership.confirmed.binary_search(&node) {
+            if self.net.node_dead(node, now) {
+                // Stale in-flight evidence sent before the crash: a buried
+                // node must stay buried.
+                return;
+            }
+            // Fresh evidence from a node the view declared dead: it
+            // rebooted. Un-confirm it and schedule a grow-back epoch that
+            // re-admits it — the commit re-packs the enlarged survivor
+            // set back up the fallback ladder towards the original kind,
+            // certified rung by rung like any crash repair.
+            self.membership.confirmed.remove(pos);
+            self.membership.suspected[node as usize] = false;
+            self.membership.last_heard[node as usize] = now;
+            self.pending_rejoins += 1;
+            if !self.membership.pending_commit {
+                self.membership.pending_commit = true;
+                self.queue
+                    .schedule(now + self.cfg.membership.drain_window, Event::EpochCommit);
+            }
             return;
         }
+        let m = &mut self.membership;
         let idx = node as usize;
         let interval = (now - m.last_heard[idx]).as_nanos() as f64;
         m.mean_interval_ns[idx] = 0.8 * m.mean_interval_ns[idx] + 0.2 * interval;
@@ -2428,13 +2760,26 @@ impl Engine {
                 if let SendOutcome::Delivered(d) =
                     self.net.send_probe(now, prober, node, PROBE_BYTES)
                 {
-                    self.queue
-                        .schedule(d.at, Event::ProbeArrive { node, prober });
+                    if self.checksum(d).is_some() {
+                        self.queue
+                            .schedule(d.at, Event::ProbeArrive { node, prober });
+                    }
                 }
             }
             let expected = self.membership.mean_interval_ns[idx].max(period.as_nanos() as f64);
             let phi = elapsed.as_nanos() as f64 / expected;
             if phi >= self.cfg.membership.phi_threshold && !self.membership.suspected[idx] {
+                if self.partition_involves(now, node) {
+                    // Grace shield: an active cut explains the silence, so
+                    // the suspicion is held rather than raised — a
+                    // partition that heals in time never reaches the
+                    // confirmation round, let alone a spurious epoch. The
+                    // evidence clock restarts so the charge doesn't re-
+                    // accrue until another full period of real silence.
+                    self.membership.stats.false_suspicions_suppressed += 1;
+                    self.membership.last_heard[idx] = now;
+                    continue;
+                }
                 self.membership.suspected[idx] = true;
                 self.membership.stats.suspicions += 1;
                 if self.net.node_dead(node, now) {
@@ -2470,7 +2815,9 @@ impl Engine {
         // Receiving a probe is itself evidence that the prober is alive.
         self.heard_from(prober, now);
         if let SendOutcome::Delivered(d) = self.net.send_faulted(now, node, prober, PROBE_BYTES) {
-            self.queue.schedule(d.at, Event::ProbeAck { node });
+            if self.checksum(d).is_some() {
+                self.queue.schedule(d.at, Event::ProbeAck { node });
+            }
         }
     }
 
@@ -2518,6 +2865,7 @@ impl Engine {
         self.membership.epoch = new_epoch;
         self.membership.stats.epoch_bumps += 1;
         self.membership.stats.final_epoch = new_epoch;
+        self.membership.stats.rejoins_committed += std::mem::take(&mut self.pending_rejoins);
         self.membership.stats.fallback_depth = self
             .membership
             .stats
@@ -3717,5 +4065,222 @@ mod tests {
         assert!(loose.serve.retries > 0, "{:?}", loose.serve);
         // Per-client budgets bound total serve retransmissions.
         assert!(loose.serve.retries <= 16 * 8);
+    }
+
+    // ----- transient faults: reboots, partitions, corruption --------------
+
+    #[test]
+    fn restarted_node_ranks_resume_and_complete() {
+        // Rank 4's node crashes mid-compute and reboots: the rank revives
+        // where the crash interrupted it, issues its operation, and the run
+        // ends with nothing lost and nothing failed.
+        let cfg = small_cfg(8, TopologyKind::Fcg);
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(500), 1)
+            .restart_node(SimTime::from_millis(5), 1);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(4) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Compute(SimTime::from_millis(1)),
+                    Action::Op(Op::fetch_add(Rank(0), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.lost_ranks.is_empty(), "{:?}", report.lost_ranks);
+        assert_eq!(report.metrics.per_rank[4].ops, 1);
+        assert_eq!(report.fetch_finals[0], 1);
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.credit_leaks, 0);
+    }
+
+    #[test]
+    fn inflight_op_survives_crash_and_reboot_exactly_once() {
+        // The origin's node dies with a blocking fetch-&-add in flight and
+        // reboots 10 ms later: the revived rank's re-armed timer
+        // retransmits with the original sequence number, so the target's
+        // dedup table keeps the increment exactly-once no matter whether
+        // the first copy had already been applied.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(10), 1)
+            .restart_node(SimTime::from_millis(10), 1);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(0),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.lost_ranks.is_empty());
+        assert_eq!(report.metrics.per_rank[1].ops, 1);
+        assert_eq!(report.fetch_finals[0], 1, "exactly-once across the cycle");
+        assert!(report.faults.retries >= 1, "{:?}", report.faults);
+        assert_eq!(report.credit_leaks, 0);
+    }
+
+    #[test]
+    fn rejoin_grows_view_back_to_original_kind() {
+        // The PR 4 boundary pin, continued: node 2 (sole escape hop on the
+        // 23-node MFCG) crashes, membership commits a 22-survivor repair,
+        // then the node reboots. Its announcements feed the detector fresh
+        // evidence, a grow-back epoch re-admits it, and the second
+        // operation runs over the restored full packing — original kind,
+        // fallback depth 0 throughout.
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::ZERO, 2)
+            .restart_node(SimTime::from_millis(20), 2);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(3) {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Op(Op::fetch_add(Rank(22), 1)),
+                    Action::Compute(SimTime::from_millis(35)),
+                    Action::Op(Op::fetch_add(Rank(22), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.metrics.per_rank[3].ops, 2);
+        assert_eq!(report.fetch_finals[22], 2);
+        assert_eq!(report.repair.rejoins_committed, 1, "{:?}", report.repair);
+        assert_eq!(report.repair.epoch_bumps, 2, "crash repair + grow-back");
+        assert_eq!(report.repair.final_epoch, 2);
+        assert_eq!(report.repair.fallback_depth, 0);
+        assert_eq!(report.credit_leaks, 0);
+        assert!(report.lost_ranks.is_empty());
+    }
+
+    #[test]
+    fn partition_grace_window_suppresses_false_suspicion() {
+        // A 15 ms cut severs node 5 from its prober. Without the grace
+        // shield the detector would raise (and then have to exonerate) a
+        // suspicion; with it the silence is attributed to the active cut
+        // and no epoch ever commits.
+        let mut cfg = small_cfg(23, TopologyKind::Mfcg);
+        cfg.procs_per_node = 1;
+        cfg.membership = crate::config::MembershipConfig::on();
+        let plan = FaultPlan::new().partition(
+            SimTime::ZERO,
+            SimTime::from_millis(15),
+            vec![(0, 5), (5, 0)],
+        );
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(3) {
+                Box::new(ScriptProgram::new(vec![Action::Compute(
+                    SimTime::from_millis(30),
+                )]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(
+            report.repair.false_suspicions_suppressed >= 1,
+            "{:?}",
+            report.repair
+        );
+        assert_eq!(report.repair.suspicions, 0, "{:?}", report.repair);
+        assert_eq!(report.repair.epoch_bumps, 0);
+        assert_eq!(report.faults.partitions_healed, 1);
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn partitioned_request_is_retried_after_heal() {
+        // The cut drops rank 1's request at the send port; once the window
+        // heals, the retransmission goes through.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        let plan = FaultPlan::new().partition(SimTime::ZERO, SimTime::from_millis(3), vec![(1, 0)]);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(0),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.metrics.per_rank[1].ops, 1);
+        assert_eq!(report.fetch_finals[0], 1);
+        assert!(report.faults.retries >= 1, "{:?}", report.faults);
+        assert_eq!(report.faults.partitions_healed, 1);
+        assert!(report.net.dropped >= 1, "{:?}", report.net);
+        assert_eq!(report.credit_leaks, 0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_detected_and_recovered() {
+        // Every corrupt delivery must fail an engine checksum (the
+        // detected count mirrors the network's corruption count exactly)
+        // and the operation still completes exactly once off its retry
+        // timer.
+        let mut cfg = small_cfg(2, TopologyKind::Fcg);
+        cfg.procs_per_node = 1;
+        cfg.retry.max_retries = 8;
+        let plan = FaultPlan::new().corrupt_window(SimTime::ZERO, SimTime::from_secs(10), 0.5);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r == Rank(1) {
+                Box::new(ScriptProgram::new(vec![Action::Op(Op::fetch_add(
+                    Rank(0),
+                    1,
+                ))]))
+            } else {
+                Box::new(ScriptProgram::new(vec![]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.faults.corrupt_detected >= 1, "{:?}", report.faults);
+        assert_eq!(
+            report.faults.corrupt_detected, report.net.corrupted,
+            "every corrupt delivery passes exactly one checksum site"
+        );
+        assert_eq!(report.metrics.per_rank[1].ops, 1);
+        assert_eq!(report.fetch_finals[0], 1, "corruption never double-applies");
+        assert_eq!(report.credit_leaks, 0);
+    }
+
+    #[test]
+    fn revived_rank_rejoins_an_unreleased_barrier() {
+        // Rank 4 enters the barrier, its node crashes and reboots before
+        // the other ranks arrive: the revived rank re-enters the same
+        // barrier generation and everyone releases together.
+        let cfg = small_cfg(8, TopologyKind::Fcg);
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(100), 1)
+            .restart_node(SimTime::from_millis(1), 1);
+        let report = run_all_faulted(cfg, &plan, |r| {
+            if r.0 >= 4 {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Barrier,
+                    Action::Op(Op::fetch_add(Rank(0), 1)),
+                ]))
+            } else {
+                Box::new(ScriptProgram::new(vec![
+                    Action::Compute(SimTime::from_millis(4)),
+                    Action::Barrier,
+                ]))
+            }
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.lost_ranks.is_empty(), "{:?}", report.lost_ranks);
+        // All four ranks on the rebooted node made it past the barrier and
+        // incremented the counter.
+        assert_eq!(report.fetch_finals[0], 4);
+        assert_eq!(report.availability(), 1.0);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! A [`FaultPlan`] is a *schedule*, fixed before the run starts, of
 //! everything that will go wrong: nodes that crash (host, CHT thread and
-//! NIC all die together), links that degrade or fail outright for a
-//! window, and windows of transient message loss. The plan plus the
+//! NIC all die together) and possibly reboot later, links that degrade or
+//! fail outright for a window, network partitions that sever a set of
+//! directed node pairs together and heal together, windows of transient
+//! message loss, and windows of payload corruption. The plan plus the
 //! machine seed fully determine the run — injecting the same plan twice
 //! produces byte-identical timelines, so every failure scenario is a
 //! reproducible experiment rather than a flake.
@@ -73,15 +75,75 @@ pub struct DropWindow {
     pub probability: f64,
 }
 
+/// A crashed node reboots: at `at`, the node's host, helper thread and
+/// NIC come back with cold state. Only valid for a node the plan crashed
+/// strictly earlier — the runtime layer revives the node's processes and
+/// re-admits it via a grow-back membership epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRestart {
+    /// Instant of the reboot.
+    pub at: SimTime,
+    /// Logical node that comes back.
+    pub node: u32,
+}
+
+/// A network partition: every directed `(src, dst)` pair in `cut` is
+/// severed together over `[from, until)` and heals together at `until`.
+/// Messages whose send instant falls inside the window are lost at the
+/// sender's NIC; both endpoints stay alive, which is exactly what makes a
+/// partition ambiguous to a crash detector.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Start of the partition.
+    pub from: SimTime,
+    /// Instant the partition heals (exclusive).
+    pub until: SimTime,
+    /// Directed logical node pairs severed by the cut.
+    pub cut: Vec<(u32, u32)>,
+}
+
+impl PartitionWindow {
+    /// Whether the cut severs `src -> dst` at time `at`.
+    pub fn severs(&self, at: SimTime, src: u32, dst: u32) -> bool {
+        at >= self.from && at < self.until && self.cut.contains(&(src, dst))
+    }
+
+    /// Whether `node` is an endpoint of any severed pair.
+    pub fn involves(&self, node: u32) -> bool {
+        self.cut.iter().any(|&(a, b)| a == node || b == node)
+    }
+}
+
+/// A window of payload corruption: each message *arriving* inside the
+/// window has its payload bit-flipped with the given probability (drawn
+/// from a dedicated fault RNG stream, so the same seed corrupts the same
+/// messages). A corrupt frame is still delivered — detecting it is the
+/// runtime's job, via end-to-end envelope checksums.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorruptWindow {
+    /// Start of the corrupting window.
+    pub from: SimTime,
+    /// End of the corrupting window (exclusive).
+    pub until: SimTime,
+    /// Per-message corruption probability in `[0, 1]`.
+    pub probability: f64,
+}
+
 /// A complete, deterministic schedule of injected faults.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Nodes that crash, and when.
     pub node_crashes: Vec<NodeCrash>,
+    /// Crashed nodes that reboot, and when.
+    pub node_restarts: Vec<NodeRestart>,
     /// Link degradations and failures.
     pub link_faults: Vec<LinkFault>,
+    /// Network partitions (severed directed cuts that heal together).
+    pub partitions: Vec<PartitionWindow>,
     /// Windows of transient message loss.
     pub drop_windows: Vec<DropWindow>,
+    /// Windows of payload corruption.
+    pub corrupt_windows: Vec<CorruptWindow>,
 }
 
 impl FaultPlan {
@@ -93,7 +155,12 @@ impl FaultPlan {
     /// True when the plan schedules no faults at all. Empty plans take the
     /// unfaulted fast paths everywhere.
     pub fn is_empty(&self) -> bool {
-        self.node_crashes.is_empty() && self.link_faults.is_empty() && self.drop_windows.is_empty()
+        self.node_crashes.is_empty()
+            && self.node_restarts.is_empty()
+            && self.link_faults.is_empty()
+            && self.partitions.is_empty()
+            && self.drop_windows.is_empty()
+            && self.corrupt_windows.is_empty()
     }
 
     /// Schedules `node` to crash at `at` (builder style).
@@ -146,6 +213,31 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `node` to reboot at `at` (it must crash strictly
+    /// earlier; [`FaultPlan::validate`] rejects orphan restarts).
+    pub fn restart_node(mut self, at: SimTime, node: u32) -> Self {
+        self.node_restarts.push(NodeRestart { at, node });
+        self
+    }
+
+    /// Severs every directed pair in `cut` over `[from, until)`, healing
+    /// them together at `until`.
+    pub fn partition(mut self, from: SimTime, until: SimTime, cut: Vec<(u32, u32)>) -> Self {
+        self.partitions.push(PartitionWindow { from, until, cut });
+        self
+    }
+
+    /// Adds a payload-corruption window flipping bits of arrivals in
+    /// `[from, until)` with probability `p`.
+    pub fn corrupt_window(mut self, from: SimTime, until: SimTime, p: f64) -> Self {
+        self.corrupt_windows.push(CorruptWindow {
+            from,
+            until,
+            probability: p,
+        });
+        self
+    }
+
     /// All nodes the plan ever crashes, sorted and deduplicated. This is
     /// the dead-set surface static analysis works from: `vt-analyze` feeds
     /// it to the escape-class router to build route-around dependency
@@ -157,11 +249,14 @@ impl FaultPlan {
         nodes
     }
 
-    /// True when the plan kills at least one node permanently — the class
-    /// of fault that only membership repair (not retry/route-around) can
-    /// survive when the victim is escape-critical.
+    /// True when the plan kills at least one node *permanently* (a crash
+    /// with no matching restart) — the class of fault that only membership
+    /// repair (not retry/route-around) can survive when the victim is
+    /// escape-critical.
     pub fn has_permanent_crashes(&self) -> bool {
-        !self.node_crashes.is_empty()
+        self.node_crashes
+            .iter()
+            .any(|c| self.restart_time(c.node).is_none())
     }
 
     /// The crash instant of `node`, if the plan kills it.
@@ -173,43 +268,223 @@ impl FaultPlan {
             .min()
     }
 
+    /// The reboot instant of `node`, if the plan restarts it.
+    pub fn restart_time(&self, node: u32) -> Option<SimTime> {
+        self.node_restarts
+            .iter()
+            .filter(|r| r.node == node)
+            .map(|r| r.at)
+            .min()
+    }
+
+    /// The outage window of `node`: its crash instant plus the reboot
+    /// instant ending the outage (`None` means it never comes back).
+    pub fn outage(&self, node: u32) -> Option<(SimTime, Option<SimTime>)> {
+        self.crash_time(node)
+            .map(|crash| (crash, self.restart_time(node)))
+    }
+
     /// Checks internal consistency: direction indices in range, degrade
-    /// factors ≥ 1, probabilities in `[0, 1]`, windows non-empty, and no
-    /// node crashing twice.
-    pub fn validate(&self) -> Result<(), String> {
+    /// factors ≥ 1, probabilities in `[0, 1]`, windows non-empty, no node
+    /// crashing or restarting twice, every restart preceded by a crash of
+    /// the same node, and partition cuts non-empty with distinct
+    /// endpoints.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         let mut crashed = Vec::new();
         for c in &self.node_crashes {
             if crashed.contains(&c.node) {
-                return Err(format!("node {} crashes more than once", c.node));
+                return Err(FaultPlanError::DuplicateCrash { node: c.node });
             }
             crashed.push(c.node);
         }
+        let mut restarted = Vec::new();
+        for r in &self.node_restarts {
+            if restarted.contains(&r.node) {
+                return Err(FaultPlanError::DuplicateRestart { node: r.node });
+            }
+            restarted.push(r.node);
+            match self.crash_time(r.node) {
+                None => return Err(FaultPlanError::RestartWithoutCrash { node: r.node }),
+                Some(crash) if r.at <= crash => {
+                    return Err(FaultPlanError::RestartBeforeCrash {
+                        node: r.node,
+                        crash,
+                        restart: r.at,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
         for f in &self.link_faults {
             if f.dir >= 6 {
-                return Err(format!("link direction {} out of range 0..6", f.dir));
+                return Err(FaultPlanError::LinkDirOutOfRange { dir: f.dir });
             }
             if let Some(until) = f.until {
                 if until <= f.at {
-                    return Err(format!("link fault window {:?}..{until:?} is empty", f.at));
+                    return Err(FaultPlanError::EmptyWindow {
+                        kind: "link fault",
+                        from: f.at,
+                        until,
+                    });
                 }
             }
             if let LinkMode::Degrade(factor) = f.mode {
                 if factor.is_nan() || factor < 1.0 {
-                    return Err(format!("degrade factor {factor} must be >= 1"));
+                    return Err(FaultPlanError::BadDegradeFactor { factor });
                 }
             }
         }
-        for w in &self.drop_windows {
-            if w.until <= w.from {
-                return Err(format!("drop window {:?}..{:?} is empty", w.from, w.until));
+        for p in &self.partitions {
+            if p.until <= p.from {
+                return Err(FaultPlanError::EmptyWindow {
+                    kind: "partition",
+                    from: p.from,
+                    until: p.until,
+                });
             }
-            if !(0.0..=1.0).contains(&w.probability) {
-                return Err(format!("drop probability {} outside [0, 1]", w.probability));
+            if p.cut.is_empty() {
+                return Err(FaultPlanError::EmptyCut);
+            }
+            if let Some(&(a, _)) = p.cut.iter().find(|&&(a, b)| a == b) {
+                return Err(FaultPlanError::SelfEdgeInCut { node: a });
+            }
+        }
+        for (kind, windows) in [
+            (
+                "drop",
+                self.drop_windows
+                    .iter()
+                    .map(|w| (w.from, w.until, w.probability))
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "corrupt",
+                self.corrupt_windows
+                    .iter()
+                    .map(|w| (w.from, w.until, w.probability))
+                    .collect::<Vec<_>>(),
+            ),
+        ] {
+            for (from, until, probability) in windows {
+                if until <= from {
+                    return Err(FaultPlanError::EmptyWindow { kind, from, until });
+                }
+                if !(0.0..=1.0).contains(&probability) {
+                    return Err(FaultPlanError::BadProbability { kind, probability });
+                }
             }
         }
         Ok(())
     }
 }
+
+/// A structural defect in a [`FaultPlan`], reported by
+/// [`FaultPlan::validate`]. Typed so CLIs and drivers can fail fast with
+/// a precise message instead of silently misbehaving on a malformed
+/// schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A node crashes more than once.
+    DuplicateCrash {
+        /// The doubly-crashed node.
+        node: u32,
+    },
+    /// A node restarts more than once.
+    DuplicateRestart {
+        /// The doubly-restarted node.
+        node: u32,
+    },
+    /// A restart names a node the plan never crashes.
+    RestartWithoutCrash {
+        /// The node with an orphan restart.
+        node: u32,
+    },
+    /// A restart does not come strictly after the node's crash.
+    RestartBeforeCrash {
+        /// The node.
+        node: u32,
+        /// Its crash instant.
+        crash: SimTime,
+        /// The offending restart instant.
+        restart: SimTime,
+    },
+    /// A link fault names a direction outside `0..6`.
+    LinkDirOutOfRange {
+        /// The out-of-range direction index.
+        dir: u8,
+    },
+    /// A degrade factor below 1 (links cannot speed up) or NaN.
+    BadDegradeFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A window with `until <= from` (link fault, partition, drop or
+    /// corrupt).
+    EmptyWindow {
+        /// Which schedule the window belongs to.
+        kind: &'static str,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// A drop or corrupt probability outside `[0, 1]`.
+    BadProbability {
+        /// Which schedule the probability belongs to.
+        kind: &'static str,
+        /// The offending probability.
+        probability: f64,
+    },
+    /// A partition window with no severed pairs.
+    EmptyCut,
+    /// A partition cut pair with identical endpoints.
+    SelfEdgeInCut {
+        /// The node paired with itself.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::DuplicateCrash { node } => {
+                write!(f, "node {node} crashes more than once")
+            }
+            FaultPlanError::DuplicateRestart { node } => {
+                write!(f, "node {node} restarts more than once")
+            }
+            FaultPlanError::RestartWithoutCrash { node } => {
+                write!(f, "restart of node {node} without a preceding crash")
+            }
+            FaultPlanError::RestartBeforeCrash {
+                node,
+                crash,
+                restart,
+            } => write!(
+                f,
+                "restart of node {node} at {restart:?} does not follow its crash at {crash:?}"
+            ),
+            FaultPlanError::LinkDirOutOfRange { dir } => {
+                write!(f, "link direction {dir} out of range 0..6")
+            }
+            FaultPlanError::BadDegradeFactor { factor } => {
+                write!(f, "degrade factor {factor} must be >= 1")
+            }
+            FaultPlanError::EmptyWindow { kind, from, until } => {
+                write!(f, "{kind} window {from:?}..{until:?} is empty")
+            }
+            FaultPlanError::BadProbability { kind, probability } => {
+                write!(f, "{kind} probability {probability} outside [0, 1]")
+            }
+            FaultPlanError::EmptyCut => write!(f, "partition window severs no pairs"),
+            FaultPlanError::SelfEdgeInCut { node } => {
+                write!(f, "partition cut pairs node {node} with itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// Why a message was lost instead of delivered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -220,6 +495,8 @@ pub enum DropReason {
     DestDead,
     /// A failed link on the route swallowed the message.
     LinkDown,
+    /// An active partition severed the sender from the destination.
+    Partitioned,
     /// A transient-loss window claimed the message.
     Transient,
 }
@@ -230,6 +507,7 @@ impl std::fmt::Display for DropReason {
             DropReason::SourceDead => "source-dead",
             DropReason::DestDead => "dest-dead",
             DropReason::LinkDown => "link-down",
+            DropReason::Partitioned => "partitioned",
             DropReason::Transient => "transient",
         };
         f.write_str(s)
@@ -289,5 +567,133 @@ mod tests {
 
         let empty_drop = FaultPlan::new().drop_window(SimTime::from_micros(1), SimTime::ZERO, 0.1);
         assert!(empty_drop.validate().is_err());
+    }
+
+    #[test]
+    fn restart_builders_and_outage_windows() {
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_micros(50), 3)
+            .restart_node(SimTime::from_micros(200), 3);
+        assert!(!plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.restart_time(3), Some(SimTime::from_micros(200)));
+        assert_eq!(plan.restart_time(4), None);
+        assert_eq!(
+            plan.outage(3),
+            Some((SimTime::from_micros(50), Some(SimTime::from_micros(200))))
+        );
+        // A crash that heals is not permanent; one that doesn't is.
+        assert!(!plan.has_permanent_crashes());
+        let permanent = plan.crash_node(SimTime::ZERO, 7);
+        assert!(permanent.has_permanent_crashes());
+        assert_eq!(permanent.outage(7), Some((SimTime::ZERO, None)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_restarts() {
+        let orphan = FaultPlan::new().restart_node(SimTime::from_micros(10), 2);
+        assert_eq!(
+            orphan.validate(),
+            Err(FaultPlanError::RestartWithoutCrash { node: 2 })
+        );
+
+        let backwards = FaultPlan::new()
+            .crash_node(SimTime::from_micros(10), 2)
+            .restart_node(SimTime::from_micros(10), 2);
+        assert!(matches!(
+            backwards.validate(),
+            Err(FaultPlanError::RestartBeforeCrash { node: 2, .. })
+        ));
+
+        let twice = FaultPlan::new()
+            .crash_node(SimTime::ZERO, 2)
+            .restart_node(SimTime::from_micros(1), 2)
+            .restart_node(SimTime::from_micros(2), 2);
+        assert_eq!(
+            twice.validate(),
+            Err(FaultPlanError::DuplicateRestart { node: 2 })
+        );
+    }
+
+    #[test]
+    fn partition_windows_sever_directed_pairs() {
+        let plan = FaultPlan::new().partition(
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+            vec![(0, 1), (1, 0), (2, 1)],
+        );
+        assert!(plan.validate().is_ok());
+        let w = &plan.partitions[0];
+        assert!(w.severs(SimTime::from_micros(10), 0, 1));
+        assert!(w.severs(SimTime::from_micros(19), 2, 1));
+        assert!(!w.severs(SimTime::from_micros(20), 0, 1), "heal is exact");
+        assert!(!w.severs(SimTime::from_micros(9), 0, 1));
+        assert!(
+            !w.severs(SimTime::from_micros(15), 1, 2),
+            "cuts are directed"
+        );
+        assert!(w.involves(2));
+        assert!(!w.involves(3));
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions_and_corrupt_windows() {
+        let empty_cut =
+            FaultPlan::new().partition(SimTime::ZERO, SimTime::from_micros(1), Vec::new());
+        assert_eq!(empty_cut.validate(), Err(FaultPlanError::EmptyCut));
+
+        let self_edge =
+            FaultPlan::new().partition(SimTime::ZERO, SimTime::from_micros(1), vec![(3, 3)]);
+        assert_eq!(
+            self_edge.validate(),
+            Err(FaultPlanError::SelfEdgeInCut { node: 3 })
+        );
+
+        let inverted = FaultPlan::new().partition(
+            SimTime::from_micros(2),
+            SimTime::from_micros(1),
+            vec![(0, 1)],
+        );
+        assert!(matches!(
+            inverted.validate(),
+            Err(FaultPlanError::EmptyWindow {
+                kind: "partition",
+                ..
+            })
+        ));
+
+        let bad_p = FaultPlan::new().corrupt_window(SimTime::ZERO, SimTime::from_micros(1), -0.5);
+        assert!(matches!(
+            bad_p.validate(),
+            Err(FaultPlanError::BadProbability {
+                kind: "corrupt",
+                ..
+            })
+        ));
+
+        let empty_corrupt =
+            FaultPlan::new().corrupt_window(SimTime::from_micros(1), SimTime::from_micros(1), 0.5);
+        assert!(matches!(
+            empty_corrupt.validate(),
+            Err(FaultPlanError::EmptyWindow {
+                kind: "corrupt",
+                ..
+            })
+        ));
+
+        let ok = FaultPlan::new().corrupt_window(SimTime::ZERO, SimTime::from_micros(1), 0.5);
+        assert!(ok.validate().is_ok());
+        assert!(!ok.is_empty());
+    }
+
+    #[test]
+    fn plan_errors_render_for_operators() {
+        let e = FaultPlanError::RestartWithoutCrash { node: 9 };
+        assert_eq!(e.to_string(), "restart of node 9 without a preceding crash");
+        let p = FaultPlanError::BadProbability {
+            kind: "drop",
+            probability: 1.5,
+        };
+        assert_eq!(p.to_string(), "drop probability 1.5 outside [0, 1]");
     }
 }

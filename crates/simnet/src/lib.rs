@@ -19,8 +19,9 @@
 //! * [`ArrivalProcess`] — deterministic open-system arrival generators
 //!   (steady / diurnal / flash-crowd offered-load curves) for serving-mode
 //!   workloads,
-//! * [`FaultPlan`] — a deterministic schedule of node crashes, link
-//!   degradation/failure and transient message loss, interpreted by
+//! * [`FaultPlan`] — a deterministic schedule of node crashes and reboots,
+//!   link degradation/failure, network partitions, transient message loss
+//!   and payload corruption, interpreted by
 //!   [`Network::send_faulted`](net::Network::send_faulted); an empty plan
 //!   leaves every fast path untouched.
 //!
@@ -55,7 +56,10 @@ pub mod torus;
 pub use arrivals::{ArrivalGen, ArrivalKind, ArrivalProcess, LoadPhase};
 pub use config::NetworkConfig;
 pub use engine::{BaselineEventQueue, EventQueue};
-pub use fault::{DropReason, DropWindow, FaultPlan, LinkFault, LinkMode, NodeCrash};
+pub use fault::{
+    CorruptWindow, DropReason, DropWindow, FaultPlan, FaultPlanError, LinkFault, LinkMode,
+    NodeCrash, NodeRestart, PartitionWindow,
+};
 pub use net::{Delivery, Network, SendOutcome};
 pub use nic::Nic;
 pub use placement::Placement;

@@ -9,7 +9,7 @@
 //! from the per-resource `busy_until` horizons.
 
 use crate::config::NetworkConfig;
-use crate::fault::{DropReason, DropWindow, FaultPlan, LinkMode};
+use crate::fault::{CorruptWindow, DropReason, DropWindow, FaultPlan, LinkMode, PartitionWindow};
 use crate::link::{Link, LinkFault};
 use crate::nic::Nic;
 use crate::placement::PlacementMap;
@@ -26,6 +26,10 @@ pub struct Delivery {
     pub stream_miss: bool,
     /// Physical hops traversed (0 for intra-node delivery).
     pub hops: u32,
+    /// Whether a corrupt window flipped payload bits in flight. The frame
+    /// still arrives — detecting the damage is the runtime's job, via
+    /// end-to-end envelope checksums. Always false on the unfaulted paths.
+    pub corrupt: bool,
 }
 
 /// Outcome of a send on a network that may inject faults.
@@ -67,15 +71,41 @@ pub struct NetCounters {
     /// counted once in `messages`). Zero unless the runtime's membership
     /// layer is enabled.
     pub probes: u64,
+    /// Frames delivered with corrupted payloads (each is also counted once
+    /// in `messages`). Zero unless the plan schedules corrupt windows.
+    pub corrupted: u64,
 }
 
-/// Interpreted fault state: per-node crash instants plus transient-loss
-/// windows and their dedicated RNG stream. Present only when the plan is
+/// Interpreted fault state: per-node outage windows (crash instant plus
+/// optional reboot), partition cuts, transient-loss and corruption windows
+/// with their dedicated RNG streams. Present only when the plan is
 /// non-empty, so fault-free runs never touch any of it.
+///
+/// The loss and corruption draws come from *separate* forks of the fault
+/// seed, so adding a corrupt window to a plan never perturbs which
+/// messages its drop windows lose.
 struct FaultCtx {
-    crash_time: Vec<Option<SimTime>>,
+    outages: Vec<Option<(SimTime, Option<SimTime>)>>,
+    partitions: Vec<PartitionWindow>,
     drop_windows: Vec<DropWindow>,
     drop_rng: DetRng,
+    corrupt_windows: Vec<CorruptWindow>,
+    corrupt_rng: DetRng,
+}
+
+impl FaultCtx {
+    /// Whether `node` is inside its outage window at `at`.
+    fn dead_at(&self, node: u32, at: SimTime) -> bool {
+        match self.outages[node as usize] {
+            Some((crash, restart)) => at >= crash && restart.is_none_or(|r| at < r),
+            None => false,
+        }
+    }
+
+    /// Whether an active partition severs `src -> dst` at `at`.
+    fn partitioned(&self, at: SimTime, src: u32, dst: u32) -> bool {
+        self.partitions.iter().any(|w| w.severs(at, src, dst))
+    }
 }
 
 /// The simulated interconnect: torus, links, and one NIC per logical node.
@@ -153,19 +183,30 @@ impl Network {
             }
             net.link_faults = Some(windows);
         }
-        let mut crash_time = vec![None; n_nodes as usize];
+        let mut outages = vec![None; n_nodes as usize];
         for c in &plan.node_crashes {
             assert!(
                 c.node < n_nodes,
                 "crash of node {} outside population",
                 c.node
             );
-            crash_time[c.node as usize] = Some(c.at);
+            outages[c.node as usize] = Some((c.at, plan.restart_time(c.node)));
+        }
+        for p in &plan.partitions {
+            for &(a, b) in &p.cut {
+                assert!(
+                    a < n_nodes && b < n_nodes,
+                    "partition pair ({a}, {b}) outside population"
+                );
+            }
         }
         net.faults = Some(FaultCtx {
-            crash_time,
+            outages,
+            partitions: plan.partitions.clone(),
             drop_windows: plan.drop_windows.clone(),
             drop_rng: DetRng::new(cfg.fault_seed).fork(0xD20B),
+            corrupt_windows: plan.corrupt_windows.clone(),
+            corrupt_rng: DetRng::new(cfg.fault_seed).fork(0xC0BB),
         });
         net
     }
@@ -180,20 +221,29 @@ impl Network {
         self.faults.is_some()
     }
 
-    /// Whether `node` is dead (its scheduled crash instant has passed) at
-    /// time `at`. Always false without a fault plan.
+    /// Whether `node` is dead — inside its scheduled outage window — at
+    /// time `at`. A node whose plan reboots it is dead only between its
+    /// crash and restart instants. Always false without a fault plan.
     pub fn node_dead(&self, node: u32, at: SimTime) -> bool {
         match &self.faults {
-            Some(f) => f.crash_time[node as usize].is_some_and(|t| at >= t),
+            Some(f) => f.dead_at(node, at),
             None => false,
         }
     }
 
     /// Marks `node`'s NIC dead. Called by the runtime when it processes the
     /// node's crash event; the time-aware drop decisions use the plan's
-    /// crash instants, this just keeps the hardware state observable.
+    /// outage windows, this just keeps the hardware state observable.
     pub fn kill_node(&mut self, node: u32) {
         self.nics[node as usize].kill();
+    }
+
+    /// Clears `node`'s NIC dead flag. Called by the runtime when it
+    /// processes the node's restart event; as with [`Network::kill_node`],
+    /// the drop decisions are time-based and this keeps the hardware state
+    /// observable.
+    pub fn revive_node(&mut self, node: u32) {
+        self.nics[node as usize].revive();
     }
 
     /// Number of logical nodes.
@@ -216,6 +266,7 @@ impl Network {
                 at: now + self.cfg.shm_latency,
                 stream_miss: false,
                 hops: 0,
+                corrupt: false,
             };
         }
 
@@ -256,6 +307,7 @@ impl Network {
             at,
             stream_miss,
             hops,
+            corrupt: false,
         }
     }
 
@@ -315,6 +367,7 @@ impl Network {
             at,
             stream_miss,
             hops,
+            corrupt: false,
         }
     }
 
@@ -355,6 +408,15 @@ impl Network {
                 reason: DropReason::SourceDead,
             };
         }
+        if self.faults_mut().partitioned(now, src, dst) {
+            // The cut severs the pair at the sender's port: like a dead
+            // source, the frame never reaches the NIC.
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped {
+                at: now,
+                reason: DropReason::Partitioned,
+            };
+        }
         assert_ne!(src, dst, "envelopes are inter-node by construction");
         let bytes = self.cfg.envelope_bytes(payload_bytes, subreqs);
         let entered =
@@ -388,7 +450,7 @@ impl Network {
         let arrival = head + drain;
 
         let faults = self.faults_mut();
-        if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
+        if faults.dead_at(dst, arrival) {
             self.counters.messages += 1;
             self.counters.bytes += bytes;
             self.counters.hops += u64::from(hops);
@@ -417,6 +479,13 @@ impl Network {
                 break;
             }
         }
+        let mut corrupt = false;
+        for w in &faults.corrupt_windows {
+            if arrival >= w.from && arrival < w.until {
+                corrupt = faults.corrupt_rng.f64() < w.probability;
+                break;
+            }
+        }
 
         let (at, stream_miss) = self.nics[dst as usize].reserve_rx_envelope(
             src,
@@ -432,10 +501,12 @@ impl Network {
         self.counters.stream_misses += u64::from(stream_miss);
         self.counters.envelopes += 1;
         self.counters.coalesced_requests += u64::from(subreqs);
+        self.counters.corrupted += u64::from(corrupt);
         SendOutcome::Delivered(Delivery {
             at,
             stream_miss,
             hops,
+            corrupt,
         })
     }
 
@@ -462,7 +533,17 @@ impl Network {
                 at: now + self.cfg.shm_latency,
                 stream_miss: false,
                 hops: 0,
+                corrupt: false,
             });
+        }
+        if self.faults_mut().partitioned(now, src, dst) {
+            // The cut severs the pair at the sender's port: like a dead
+            // source, the frame never reaches the NIC.
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped {
+                at: now,
+                reason: DropReason::Partitioned,
+            };
         }
 
         let entered =
@@ -497,7 +578,7 @@ impl Network {
         let arrival = head + drain;
 
         let faults = self.faults_mut();
-        if faults.crash_time[dst as usize].is_some_and(|t| arrival >= t) {
+        if faults.dead_at(dst, arrival) {
             self.counters.messages += 1;
             self.counters.bytes += bytes;
             self.counters.hops += u64::from(hops);
@@ -522,6 +603,13 @@ impl Network {
                 break;
             }
         }
+        let mut corrupt = false;
+        for w in &faults.corrupt_windows {
+            if arrival >= w.from && arrival < w.until {
+                corrupt = faults.corrupt_rng.f64() < w.probability;
+                break;
+            }
+        }
 
         let (at, stream_miss) = self.nics[dst as usize].reserve_rx(
             src,
@@ -534,10 +622,12 @@ impl Network {
         self.counters.bytes += bytes;
         self.counters.hops += u64::from(hops);
         self.counters.stream_misses += u64::from(stream_miss);
+        self.counters.corrupted += u64::from(corrupt);
         SendOutcome::Delivered(Delivery {
             at,
             stream_miss,
             hops,
+            corrupt,
         })
     }
 
@@ -988,6 +1078,136 @@ mod tests {
         assert!(!net.nic(2).is_dead());
         net.kill_node(2);
         assert!(net.nic(2).is_dead());
+        net.revive_node(2);
+        assert!(!net.nic(2).is_dead());
+    }
+
+    #[test]
+    fn restarted_node_is_dead_only_inside_its_outage_window() {
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_nanos(1_000), 0)
+            .restart_node(SimTime::from_micros(10), 0);
+        let mut net = Network::with_faults(NetworkConfig::default(), 8, &plan);
+        assert!(!net.node_dead(0, SimTime::from_nanos(999)));
+        assert!(net.node_dead(0, SimTime::from_nanos(1_000)));
+        assert!(net.node_dead(0, SimTime::from_nanos(9_999)));
+        assert!(!net.node_dead(0, SimTime::from_micros(10)), "reboot heals");
+        // In flight across the crash instant: lost at the dead NIC.
+        match net.send_faulted(SimTime::ZERO, 7, 0, 4_096) {
+            SendOutcome::Dropped { reason, .. } => assert_eq!(reason, DropReason::DestDead),
+            other => panic!("expected a dest-dead drop, got {other:?}"),
+        }
+        // A dead node cannot send mid-outage...
+        let mid = net.send_faulted(SimTime::from_micros(5), 0, 7, 64);
+        assert!(matches!(
+            mid,
+            SendOutcome::Dropped {
+                reason: DropReason::SourceDead,
+                ..
+            }
+        ));
+        // ...but both directions work again after the reboot.
+        assert!(matches!(
+            net.send_faulted(SimTime::from_micros(10), 0, 7, 64),
+            SendOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            net.send_faulted(SimTime::from_micros(12), 7, 0, 64),
+            SendOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn partition_severs_directed_pairs_until_heal() {
+        let plan = FaultPlan::new().partition(
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+            vec![(3, 0)],
+        );
+        let mut net = Network::with_faults(NetworkConfig::default(), 8, &plan);
+        assert!(matches!(
+            net.send_faulted(SimTime::from_micros(5), 3, 0, 64),
+            SendOutcome::Delivered(_)
+        ));
+        assert_eq!(
+            net.send_faulted(SimTime::from_micros(15), 3, 0, 64),
+            SendOutcome::Dropped {
+                at: SimTime::from_micros(15),
+                reason: DropReason::Partitioned
+            }
+        );
+        // The cut is directed: the reverse pair still flows.
+        assert!(matches!(
+            net.send_faulted(SimTime::from_micros(15), 0, 3, 64),
+            SendOutcome::Delivered(_)
+        ));
+        // After the heal instant the pair flows again.
+        assert!(matches!(
+            net.send_faulted(SimTime::from_micros(20), 3, 0, 64),
+            SendOutcome::Delivered(_)
+        ));
+        assert_eq!(net.counters().dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_window_flips_payloads_deterministically() {
+        let plan = FaultPlan::new().corrupt_window(SimTime::ZERO, SimTime::from_secs(1), 0.4);
+        let run = |seed: u64| {
+            let cfg = NetworkConfig {
+                fault_seed: seed,
+                ..NetworkConfig::default()
+            };
+            let mut net = Network::with_faults(cfg, 32, &plan);
+            let mut t = SimTime::ZERO;
+            let mut flips = Vec::new();
+            for i in 0..200u32 {
+                let src = 1 + (i % 31);
+                match net.send_faulted(t, src, 0, 256) {
+                    SendOutcome::Delivered(d) => {
+                        t = d.at;
+                        flips.push(d.corrupt);
+                    }
+                    other => panic!("corruption never drops, got {other:?}"),
+                }
+            }
+            (flips, net.counters())
+        };
+        let (a, ca) = run(7);
+        let (b, cb) = run(7);
+        assert_eq!(a, b, "same fault seed must corrupt the same messages");
+        assert_eq!(ca, cb);
+        let corrupted = a.iter().filter(|&&c| c).count() as u64;
+        assert!(corrupted > 0, "p=0.4 over 200 sends should corrupt some");
+        assert!(corrupted < 200, "p=0.4 should leave some frames clean");
+        assert_eq!(ca.corrupted, corrupted);
+        assert_eq!(ca.dropped, 0, "corrupt frames are delivered, not dropped");
+    }
+
+    #[test]
+    fn corrupt_draws_do_not_perturb_the_drop_stream() {
+        // Adding a corrupt window must not change which messages the drop
+        // windows lose: the two schedules draw from separate RNG forks.
+        let drops_only = FaultPlan::new().drop_window(SimTime::ZERO, SimTime::from_secs(1), 0.5);
+        let both = drops_only
+            .clone()
+            .corrupt_window(SimTime::ZERO, SimTime::from_secs(1), 0.5);
+        let losses = |plan: &FaultPlan| {
+            let mut net = Network::with_faults(NetworkConfig::default(), 32, plan);
+            let mut t = SimTime::ZERO;
+            let mut lost = Vec::new();
+            for i in 0..200u32 {
+                let src = 1 + (i % 31);
+                match net.send_faulted(t, src, 0, 256) {
+                    SendOutcome::Delivered(d) => {
+                        t = d.at;
+                        lost.push(false);
+                    }
+                    SendOutcome::Dropped { .. } => lost.push(true),
+                }
+            }
+            lost
+        };
+        assert_eq!(losses(&drops_only), losses(&both));
     }
 
     #[test]

@@ -178,6 +178,14 @@ impl Nic {
         self.dead = true;
     }
 
+    /// Clears the dead flag (its node rebooted). The stream table, engine
+    /// horizons and counters deliberately survive: the simulated hardware
+    /// epoch is the network's, and the time-based drop decisions — not
+    /// this flag — decide what a dead node loses.
+    pub fn revive(&mut self) {
+        self.dead = false;
+    }
+
     /// Whether the NIC's node has crashed.
     pub fn is_dead(&self) -> bool {
         self.dead

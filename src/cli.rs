@@ -5,6 +5,7 @@
 //! defaults matching the paper's setups.
 
 use std::collections::BTreeMap;
+use vt_apps::chaos::{ChaosConfig, ChaosOutcome};
 use vt_apps::contention::{ContentionConfig, OpSpec, Scenario};
 use vt_apps::faults::FaultScenarioConfig;
 use vt_apps::gups::GupsConfig;
@@ -176,6 +177,16 @@ pub fn usage() -> String {
                    percentiles (and the goodput-vs-offered-load curve with\n\
                    --curve); exits non-zero unless the exactly-once ledger\n\
                    balances with zero credit leaks\n\
+       chaos       [--cells 64] [--ppn 4] [--ops 12] [--seed 50336]\n\
+                   [--threads 0] [--quick] [--format human|json]\n\
+                   deterministic chaos campaign: randomised composite fault\n\
+                   schedules (crashes, reboots, partitions, loss, payload\n\
+                   corruption) over the topology x population grid, every\n\
+                   cell checked against invariant oracles (completion, zero\n\
+                   credit leaks, every corruption caught, exactly-once\n\
+                   effects) plus double-run replay identity; failing\n\
+                   schedules are greedily shrunk to a minimized reproducer;\n\
+                   exits non-zero when any cell violates an invariant\n\
        lint        [--root .] [--allow lint_allow.toml] [--format human|json]\n\
                    [--out PATH]\n\
                    workspace determinism & panic-policy static analyzer:\n\
@@ -201,10 +212,11 @@ pub fn usage() -> String {
 /// # Errors
 /// Returns a usage/flag error message.
 pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
-    // `bench` follows the figure-harness convention of a bare `--quick`;
-    // normalize it to the `--flag value` shape the parser expects.
+    // `bench` and `chaos` follow the figure-harness convention of a bare
+    // `--quick`; normalize it to the `--flag value` shape the parser
+    // expects.
     let normalized;
-    let args = if cmd == "bench" {
+    let args = if cmd == "bench" || cmd == "chaos" {
         normalized = normalize_bare_flags(args, &["--quick"]);
         &normalized[..]
     } else {
@@ -552,7 +564,8 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 "forwarder kill on {} ({} procs, node{} dead at {} us):\n\
                  healthy {:.1} us -> faulted {:.1} us ({:.2}x), availability {:.3}\n\
                  {} lost ranks, {} failed ops, {} completed ops\n\
-                 recovery: {} retries, {} reroutes, {} credit reclaims, {} dedup hits\n",
+                 recovery: {} retries, {} reroutes, {} credit reclaims, {} dedup hits, \
+                 {} corrupt caught, {} partitions healed\n",
                 topology.name(),
                 n_procs,
                 o.victim,
@@ -568,6 +581,8 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
                 o.reroutes,
                 o.reclaims,
                 o.dedup_hits,
+                o.corrupt_detected,
+                o.partitions_healed,
             );
             if membership {
                 out.push_str(&render_repair_stats(&o.repair));
@@ -743,6 +758,46 @@ pub fn run_command(cmd: &str, args: &[String]) -> Result<String, String> {
             }
             out
         }
+        "chaos" => {
+            let format = flags.take("format", "human".to_string())?;
+            if format != "human" && format != "json" {
+                return Err(format!(
+                    "invalid value for --format: '{format}' (human|json)"
+                ));
+            }
+            let quick = match flags.take("quick", "off".to_string())?.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("invalid value for --quick: '{other}' (on|off)")),
+            };
+            let base = if quick {
+                ChaosConfig::quick()
+            } else {
+                ChaosConfig::paper()
+            };
+            let cfg = ChaosConfig {
+                cells: flags.take("cells", base.cells)?,
+                ppn: flags.take("ppn", base.ppn)?,
+                ops_per_rank: flags.take("ops", base.ops_per_rank)?,
+                seed: flags.take("seed", base.seed)?,
+                threads: flags.take("threads", base.threads)?,
+            };
+            flags.finish()?;
+            let o = vt_apps::chaos::try_run(&cfg).map_err(|e| e.to_string())?;
+            let out = if format == "json" {
+                chaos_json(&cfg, &o)
+            } else {
+                render_chaos(&cfg, &o)
+            };
+            if o.failing_cells() > 0 {
+                return Err(format!(
+                    "chaos campaign FAILED ({} of {} cells violated invariants)\n{out}",
+                    o.failing_cells(),
+                    o.cells.len()
+                ));
+            }
+            out
+        }
         "bench" => {
             let quick = match flags.take("quick", "off".to_string())?.as_str() {
                 "on" => true,
@@ -855,11 +910,34 @@ fn crash_victim(kind: TopologyKind, nodes: u32) -> Option<u32> {
 /// One human-readable line of membership/repair activity counters.
 fn render_repair_stats(r: &vt_armci::RepairStats) -> String {
     format!(
-        "membership repair: {} suspicions ({} false), {} epoch bumps, \
-         {} drained, {} replayed, {} probes, fallback depth {}, final epoch {}\n",
+        "membership repair: {} suspicions ({} false, {} suppressed), {} epoch bumps \
+         ({} rejoins), {} drained, {} replayed, {} probes, fallback depth {}, final epoch {}\n",
         r.suspicions,
         r.false_suspicions,
+        r.false_suspicions_suppressed,
         r.epoch_bumps,
+        r.rejoins_committed,
+        r.drained_requests,
+        r.replayed_requests,
+        r.probes,
+        r.fallback_depth,
+        r.final_epoch,
+    )
+}
+
+/// Matching field order for the repair JSON objects.
+fn repair_stats_json(r: &vt_armci::RepairStats) -> String {
+    format!(
+        "{{\"suspicions\":{},\"false_suspicions\":{},\
+         \"false_suspicions_suppressed\":{},\
+         \"epoch_bumps\":{},\"rejoins_committed\":{},\
+         \"drained_requests\":{},\"replayed_requests\":{},\
+         \"probes\":{},\"fallback_depth\":{},\"final_epoch\":{}}}",
+        r.suspicions,
+        r.false_suspicions,
+        r.false_suspicions_suppressed,
+        r.epoch_bumps,
+        r.rejoins_committed,
         r.drained_requests,
         r.replayed_requests,
         r.probes,
@@ -908,16 +986,13 @@ fn render_repair_outcome(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> Strin
 
 /// Hand-rolled JSON cell for one membership-repair scenario outcome.
 fn repair_json(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
-    let r = &o.repair;
     format!(
         "{{\"topology\":\"{}\",\"nodes\":{},\"victim\":{},\"static_refusal\":{},\
          \"completed\":{},\"exec_seconds\":{:.9},\"availability\":{:.6},\
          \"completed_ops\":{},\"failed_ops\":{},\"credit_leaks\":{},\
          \"lost_ranks\":{},\"retries\":{},\
          \"post_repair_kind\":\"{}\",\"post_repair_certified\":{},\
-         \"repair\":{{\"suspicions\":{},\"false_suspicions\":{},\
-         \"epoch_bumps\":{},\"drained_requests\":{},\"replayed_requests\":{},\
-         \"probes\":{},\"fallback_depth\":{},\"final_epoch\":{}}}}}",
+         \"repair\":{}}}",
         cfg.topology.name(),
         cfg.nodes,
         o.victim,
@@ -932,14 +1007,152 @@ fn repair_json(cfg: &RepairScenarioConfig, o: &RepairOutcome) -> String {
         o.retries,
         o.post_repair_kind.name(),
         o.post_repair_certified,
-        r.suspicions,
-        r.false_suspicions,
-        r.epoch_bumps,
-        r.drained_requests,
-        r.replayed_requests,
-        r.probes,
-        r.fallback_depth,
-        r.final_epoch,
+        repair_stats_json(&o.repair),
+    )
+}
+
+/// 64-bit FNV-1a — a stable short fingerprint for the per-cell replay
+/// digests, so the rendered campaign stays compact and byte-diffable.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Human rendering of a chaos campaign: one row per cell plus the
+/// campaign verdict (and the minimized reproducer when a cell failed).
+fn render_chaos(cfg: &ChaosConfig, o: &ChaosOutcome) -> String {
+    let mut out = format!(
+        "# Chaos campaign: {} cells, seed {:#x}, {} ops/rank at {} ppn\n",
+        cfg.cells, cfg.seed, cfg.ops_per_rank, cfg.ppn
+    );
+    let mut table = Table::new(&[
+        "cell",
+        "topology",
+        "procs",
+        "schedule",
+        "exec (us)",
+        "retries",
+        "corrupt",
+        "epochs",
+        "rejoins",
+        "heals",
+        "digest",
+        "verdict",
+    ]);
+    for c in &o.cells {
+        table.row(&[
+            c.idx.to_string(),
+            c.topology.name().to_string(),
+            c.n_procs.to_string(),
+            format!(
+                "{}c {}r {}p {}d {}x",
+                c.crashes, c.restarts, c.partitions, c.drop_windows, c.corrupt_windows
+            ),
+            format!("{:.1}", c.exec_seconds * 1e6),
+            c.retries.to_string(),
+            c.corrupt_detected.to_string(),
+            c.epoch_bumps.to_string(),
+            c.rejoins_committed.to_string(),
+            c.partitions_healed.to_string(),
+            format!("{:016x}", fnv64(&c.digest)),
+            if c.passed() {
+                "ok".to_string()
+            } else {
+                "VIOLATED".to_string()
+            },
+        ]);
+    }
+    out.push_str(&table.render());
+    let tot = |f: fn(&vt_apps::CellOutcome) -> u64| o.cells.iter().map(f).sum::<u64>();
+    out.push_str(&format!(
+        "totals: {} retries, {} corrupt caught, {} epoch bumps, {} rejoins, \
+         {} partitions healed, {} suppressed suspicions\n",
+        tot(|c| c.retries),
+        tot(|c| c.corrupt_detected),
+        tot(|c| c.epoch_bumps),
+        tot(|c| c.rejoins_committed),
+        tot(|c| c.partitions_healed),
+        tot(|c| c.false_suspicions_suppressed),
+    ));
+    let failing = o.failing_cells();
+    if failing == 0 {
+        out.push_str(&format!(
+            "campaign: {} cells, all invariants HELD, replay byte-identical\n",
+            o.cells.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "campaign: {failing} of {} cells VIOLATED invariants\n",
+            o.cells.len()
+        ));
+        for c in o.cells.iter().filter(|c| !c.passed()) {
+            for v in &c.violations {
+                out.push_str(&format!("  cell {}: {v}\n", c.idx));
+            }
+        }
+    }
+    if let Some(m) = &o.minimized {
+        out.push_str(&format!(
+            "minimized reproducer (cell {}): {:?}\n",
+            m.cell, m.plan
+        ));
+        for v in &m.violations {
+            out.push_str(&format!("  still fails: {v}\n"));
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON document for one chaos campaign.
+fn chaos_json(cfg: &ChaosConfig, o: &ChaosOutcome) -> String {
+    let cells = o
+        .cells
+        .iter()
+        .map(|c| {
+            let violations = c
+                .violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"idx\":{},\"topology\":\"{}\",\"n_procs\":{},\
+                 \"crashes\":{},\"restarts\":{},\"partitions\":{},\
+                 \"drop_windows\":{},\"corrupt_windows\":{},\
+                 \"exec_seconds\":{:.9},\"retries\":{},\"corrupt_detected\":{},\
+                 \"epoch_bumps\":{},\"rejoins_committed\":{},\
+                 \"partitions_healed\":{},\"false_suspicions_suppressed\":{},\
+                 \"digest\":\"{:016x}\",\"passed\":{},\"violations\":[{violations}]}}",
+                c.idx,
+                c.topology.name(),
+                c.n_procs,
+                c.crashes,
+                c.restarts,
+                c.partitions,
+                c.drop_windows,
+                c.corrupt_windows,
+                c.exec_seconds,
+                c.retries,
+                c.corrupt_detected,
+                c.epoch_bumps,
+                c.rejoins_committed,
+                c.partitions_healed,
+                c.false_suspicions_suppressed,
+                fnv64(&c.digest),
+                c.passed(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"cells\":{},\"seed\":{},\"all_passed\":{},\"cell_results\":[{cells}]}}\n",
+        cfg.cells,
+        cfg.seed,
+        o.failing_cells() == 0,
     )
 }
 
@@ -983,6 +1196,7 @@ fn serve_json(cfg: &ServeScenarioConfig, o: &ServeOutcome, points: &[CurvePoint]
          \"offered_per_sec\":{:.3},\"goodput_per_sec\":{:.3},\
          \"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
          \"exec_seconds\":{:.9},\"credit_leaks\":{},\"dedup_hits\":{},\
+         \"corrupt_detected\":{},\
          \"hot_final\":{},\"exactly_once\":{},\"load_repacks\":{},\
          \"repack_kind\":{repack_kind},\"repack_certified\":{},\
          \"epoch_bumps\":{},\"curve\":[{curve}]}}\n",
@@ -1006,6 +1220,7 @@ fn serve_json(cfg: &ServeScenarioConfig, o: &ServeOutcome, points: &[CurvePoint]
         o.exec_seconds,
         o.credit_leaks,
         o.dedup_hits,
+        o.corrupt_detected,
         o.hot_final,
         o.exactly_once,
         o.load_repacks,
@@ -1445,6 +1660,52 @@ mod tests {
                 .unwrap_err()
                 .contains("does not support")
         );
+    }
+
+    #[test]
+    fn chaos_command_quick_campaign_holds_every_invariant() {
+        let out = run_command("chaos", &s(&["--quick", "on"])).unwrap();
+        assert!(out.contains("# Chaos campaign: 8 cells"), "{out}");
+        assert!(
+            out.contains("all invariants HELD, replay byte-identical"),
+            "{out}"
+        );
+        assert!(!out.contains("VIOLATED"), "{out}");
+        assert!(!out.contains("minimized reproducer"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_json_is_deterministic_across_thread_counts() {
+        let args = |t: &str| {
+            s(&[
+                "--quick",
+                "on",
+                "--cells",
+                "6",
+                "--threads",
+                t,
+                "--format",
+                "json",
+            ])
+        };
+        let serial = run_command("chaos", &args("1")).unwrap();
+        let parallel = run_command("chaos", &args("4")).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("\"all_passed\":true"), "{serial}");
+        assert_eq!(serial.matches("\"idx\"").count(), 6, "{serial}");
+    }
+
+    #[test]
+    fn chaos_command_rejects_bad_flags() {
+        assert!(run_command("chaos", &s(&["--format", "xml"]))
+            .unwrap_err()
+            .contains("--format"));
+        assert!(run_command("chaos", &s(&["--quick", "maybe"]))
+            .unwrap_err()
+            .contains("--quick"));
+        assert!(run_command("chaos", &s(&["--cells", "0"]))
+            .unwrap_err()
+            .contains("at least one cell"));
     }
 
     #[test]
